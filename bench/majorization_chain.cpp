@@ -1,0 +1,127 @@
+// Empirical verification of the Section 3 majorization properties
+// (ii)-(v), plus the Theorem 2 sandwich chain
+//     A(1, d-k+1)  <=mj  A(k, d)  <=mj  A(1, floor(d/k)).
+//
+// For each ordered pair we report the mean max load of both processes and
+// the Mann-Whitney dominance probability P(maxload(worse) > maxload(better))
+// (+0.5 ties); majorization implies this is >= 0.5.
+//
+//   ./majorization_chain [--n=65536] [--reps=30] [--seed=7]
+#include <iostream>
+#include <vector>
+
+#include "core/coupling.hpp"
+#include "core/runner.hpp"
+#include "stats/hypothesis.hpp"
+#include "support/cli.hpp"
+#include "support/text_table.hpp"
+
+namespace {
+
+std::vector<double> max_load_sample(std::uint64_t n, std::uint64_t k,
+                                    std::uint64_t d, std::uint32_t reps,
+                                    std::uint64_t seed) {
+    const auto balls = n - (n % k);
+    const auto result = kdc::core::run_kd_experiment(
+        n, k, d, {.balls = balls, .reps = reps, .seed = seed});
+    std::vector<double> sample;
+    sample.reserve(result.reps.size());
+    for (const auto& rep : result.reps) {
+        sample.push_back(static_cast<double>(rep.max_load));
+    }
+    return sample;
+}
+
+double mean_of(const std::vector<double>& xs) {
+    double sum = 0.0;
+    for (const double x : xs) {
+        sum += x;
+    }
+    return sum / static_cast<double>(xs.size());
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    kdc::arg_parser args;
+    args.add_option("n", "65536", "number of bins and balls");
+    args.add_option("reps", "30", "repetitions per process");
+    args.add_option("seed", "7", "master seed");
+    if (!args.parse(argc, argv)) {
+        return 0;
+    }
+    const auto n = static_cast<std::uint64_t>(args.get_int("n"));
+    const auto reps = static_cast<std::uint32_t>(args.get_int("reps"));
+    const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+
+    struct pair {
+        const char* property;
+        std::uint64_t kb, db; // better (majorized)
+        std::uint64_t kw, dw; // worse (majorizing)
+    };
+    const std::vector<pair> pairs{
+        {"(ii)  A(k,d+a) <= A(k,d)", 1, 4, 1, 2},
+        {"(ii)  A(k,d+a) <= A(k,d)", 4, 12, 4, 6},
+        {"(iii) A(k-a,d) <= A(k,d)", 1, 8, 4, 8},
+        {"(iii) A(k-a,d) <= A(k,d)", 2, 16, 8, 16},
+        {"(iv)  A(ak,ad) <= A(k,d)", 4, 8, 1, 2},
+        {"(iv)  A(ak,ad) <= A(k,d)", 8, 12, 2, 3},
+        {"(v)   A(k,d) <= A(k+a,d+a)", 1, 2, 16, 17},
+        {"(v)   A(k,d) <= A(k+a,d+a)", 2, 4, 32, 34},
+        {"thm2  A(1,d-k+1) <= A(k,d)", 1, 5, 4, 8},
+        {"thm2  A(k,d) <= A(1,d/k)", 4, 8, 1, 2},
+    };
+
+    std::cout << "Majorization chain, n = " << n << ", " << reps
+              << " reps per process\n"
+              << "dominance = P(max(worse) > max(better)) + 0.5 P(tie); "
+                 "majorization implies >= 0.5\n\n";
+
+    kdc::text_table table;
+    table.set_header({"property", "better", "mean", "worse", "mean",
+                      "dominance"});
+    table.set_align(0, kdc::table_align::left);
+
+    std::uint64_t pair_seed = seed;
+    for (const auto& p : pairs) {
+        const auto better =
+            max_load_sample(n, p.kb, p.db, reps, ++pair_seed * 131);
+        const auto worse =
+            max_load_sample(n, p.kw, p.dw, reps, ++pair_seed * 137);
+        const double dom = kdc::stats::dominance_probability(worse, better);
+        table.add_row({p.property,
+                       "(" + std::to_string(p.kb) + "," +
+                           std::to_string(p.db) + ")",
+                       kdc::format_fixed(mean_of(better), 2),
+                       "(" + std::to_string(p.kw) + "," +
+                           std::to_string(p.dw) + ")",
+                       kdc::format_fixed(mean_of(worse), 2),
+                       kdc::format_fixed(dom, 3)});
+    }
+    std::cout << table << '\n'
+              << "Every dominance entry should be >= ~0.5 (sampling noise "
+                 "aside): the majorized\n"
+                 "process never has the stochastically larger max load.\n\n";
+
+    // The paper's actual coupling constructions (Section 3 proofs), run as
+    // experiments: shared probes for (ii), partitioned probes for (iv).
+    std::cout << "Coupled runs (paper's proof couplings, n = " << n << "):\n";
+    kdc::text_table coupled;
+    coupled.set_header({"coupling", "config", "rounds",
+                        "prefix-sum violations", "rate"});
+    coupled.set_align(0, kdc::table_align::left);
+    const auto ii = kdc::core::couple_property_ii(n, 2, 4, 4, n / 2, seed);
+    coupled.add_row({"Property (ii), shared probes",
+                     "A(2,8) vs A(2,4)", std::to_string(ii.rounds),
+                     std::to_string(ii.violations),
+                     kdc::format_fixed(ii.violation_rate(), 4)});
+    const auto iv = kdc::core::couple_property_iv(n, 2, 4, 2, n / 8, seed);
+    coupled.add_row({"Property (iv), partitioned probes",
+                     "A(4,8) vs A(2,4)", std::to_string(iv.rounds),
+                     std::to_string(iv.violations),
+                     kdc::format_fixed(iv.violation_rate(), 4)});
+    std::cout << coupled
+              << "(ii) holds exactly under the coupling; (iv) shows only "
+                 "residual tie-breaking noise.\n";
+    return 0;
+}

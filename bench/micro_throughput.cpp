@@ -1,0 +1,116 @@
+// Microbenchmarks (google-benchmark): throughput of the allocation kernels
+// and the RNG layer. These quantify the engineering claims of the library
+// itself (balls/second at various (k,d)), not the paper's statistical
+// results.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/kdchoice.hpp"
+#include "rng/pcg32.hpp"
+#include "rng/sampling.hpp"
+#include "rng/uniform.hpp"
+#include "rng/xoshiro256ss.hpp"
+
+namespace {
+
+void bm_xoshiro256ss(benchmark::State& state) {
+    kdc::rng::xoshiro256ss gen(42);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(gen());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(bm_xoshiro256ss);
+
+void bm_pcg32(benchmark::State& state) {
+    kdc::rng::pcg32 gen(42);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(gen());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(bm_pcg32);
+
+void bm_uniform_below(benchmark::State& state) {
+    kdc::rng::xoshiro256ss gen(42);
+    const auto bound = static_cast<std::uint64_t>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(kdc::rng::uniform_below(gen, bound));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(bm_uniform_below)->Arg(193)->Arg(1 << 16)->Arg(1 << 30);
+
+void bm_sample_with_replacement(benchmark::State& state) {
+    kdc::rng::xoshiro256ss gen(42);
+    std::vector<std::uint32_t> out(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        kdc::rng::sample_with_replacement(gen, 1 << 16,
+                                          std::span<std::uint32_t>(out));
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(bm_sample_with_replacement)->Arg(4)->Arg(64)->Arg(193);
+
+/// Balls/second for a full (k,d)-choice run at n = 2^16.
+void bm_kd_choice(benchmark::State& state) {
+    const auto k = static_cast<std::uint64_t>(state.range(0));
+    const auto d = static_cast<std::uint64_t>(state.range(1));
+    constexpr std::uint64_t n = 1 << 16;
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        kdc::core::kd_choice_process process(n, k, d, ++seed);
+        process.run_balls(n - (n % k));
+        benchmark::DoNotOptimize(process.loads().data());
+    }
+    state.SetItemsProcessed(state.iterations() * (n - (n % k)));
+}
+BENCHMARK(bm_kd_choice)
+    ->Args({1, 2})
+    ->Args({2, 4})
+    ->Args({8, 16})
+    ->Args({64, 128})
+    ->Args({1, 193})
+    ->Args({128, 193})
+    ->Args({192, 193});
+
+void bm_single_choice(benchmark::State& state) {
+    constexpr std::uint64_t n = 1 << 16;
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        kdc::core::single_choice_process process(n, ++seed);
+        process.run_balls(n);
+        benchmark::DoNotOptimize(process.loads().data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(bm_single_choice);
+
+void bm_d_choice_fast_path(benchmark::State& state) {
+    constexpr std::uint64_t n = 1 << 16;
+    const auto d = static_cast<std::uint64_t>(state.range(0));
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        kdc::core::d_choice_process process(n, d, ++seed);
+        process.run_balls(n);
+        benchmark::DoNotOptimize(process.loads().data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(bm_d_choice_fast_path)->Arg(2)->Arg(4)->Arg(8);
+
+void bm_sorted_loads(benchmark::State& state) {
+    kdc::core::kd_choice_process process(1 << 16, 2, 4, 7);
+    process.run_balls(1 << 16);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            kdc::core::sorted_loads_desc(process.loads()));
+    }
+}
+BENCHMARK(bm_sorted_loads);
+
+} // namespace
+
+BENCHMARK_MAIN();

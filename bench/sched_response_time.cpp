@@ -1,0 +1,127 @@
+// The parallel job scheduling application (Section 1.3): response time of a
+// cluster under per-task d-choice probing (Sparrow style) vs (k,d)-choice
+// shared probing, swept over utilization.
+//
+// Two comparisons, matching the paper's argument:
+//   (a) equal probe budget per job — shared probing wins on response time;
+//   (b) equal per-task quality (same d) — shared probing matches response
+//       at 1/k the message cost.
+//
+//   ./sched_response_time [--workers=256] [--jobs=20000] [--k=4] [--seed=9]
+#include <iostream>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+#include "support/cli.hpp"
+#include "support/text_table.hpp"
+
+namespace {
+
+kdc::sched::scheduler_result run_one(std::uint64_t workers,
+                                     std::uint64_t jobs, std::uint64_t k,
+                                     std::uint64_t probes,
+                                     kdc::sched::probe_strategy strategy,
+                                     double utilization, std::uint64_t seed) {
+    kdc::sched::scheduler_config config;
+    config.workers = workers;
+    config.jobs = jobs;
+    config.tasks_per_job = k;
+    config.probes = probes;
+    config.mean_service = 1.0;
+    config.arrival_rate =
+        utilization * static_cast<double>(workers) / static_cast<double>(k);
+    config.strategy = strategy;
+    config.seed = seed;
+    return kdc::sched::simulate(config);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    kdc::arg_parser args;
+    args.add_option("workers", "256", "cluster size");
+    args.add_option("jobs", "20000", "jobs per run");
+    args.add_option("k", "4", "tasks per job");
+    args.add_option("seed", "9", "master seed");
+    if (!args.parse(argc, argv)) {
+        return 0;
+    }
+    const auto workers = static_cast<std::uint64_t>(args.get_int("workers"));
+    const auto jobs = static_cast<std::uint64_t>(args.get_int("jobs"));
+    const auto k = static_cast<std::uint64_t>(args.get_int("k"));
+    const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+
+    const std::vector<double> utilizations{0.3, 0.5, 0.7, 0.85};
+
+    using kdc::sched::probe_strategy;
+
+    std::cout << "Cluster scheduling (Section 1.3): " << workers
+              << " workers, jobs of k = " << k
+              << " parallel tasks, exp(1) service, " << jobs
+              << " jobs per point\n\n";
+
+    std::cout << "(a) Equal message budget: (k,d)-batch with d = 2k probes "
+                 "per JOB vs per-task with 2 probes per TASK\n\n";
+    kdc::text_table budget_table;
+    budget_table.set_header({"util", "strategy", "mean resp", "p99 resp",
+                             "probes/job"});
+    budget_table.set_align(1, kdc::table_align::left);
+    std::uint64_t run_seed = seed;
+    for (const double util : utilizations) {
+        const auto shared = run_one(workers, jobs, k, 2 * k,
+                                    probe_strategy::batch_kd_choice, util,
+                                    ++run_seed);
+        const auto per_task = run_one(workers, jobs, k, 2,
+                                      probe_strategy::per_task_d_choice, util,
+                                      ++run_seed);
+        const auto random = run_one(workers, jobs, k, 2,
+                                    probe_strategy::random_worker, util,
+                                    ++run_seed);
+        auto row = [&](const char* name,
+                       const kdc::sched::scheduler_result& r) {
+            budget_table.add_row(
+                {kdc::format_fixed(util, 2), name,
+                 kdc::format_fixed(r.response_time.mean, 3),
+                 kdc::format_fixed(r.response_time.p99, 2),
+                 kdc::format_fixed(static_cast<double>(r.probe_messages) /
+                                       static_cast<double>(jobs), 1)});
+        };
+        row("(k,2k)-choice shared", shared);
+        row("per-task 2-choice", per_task);
+        row("random", random);
+    }
+    std::cout << budget_table << '\n';
+
+    std::cout << "(b) Equal probe pool d per job vs per task: (k,d)-batch "
+                 "(d probes/job) vs per-task d-choice (k*d probes/job)\n\n";
+    kdc::text_table quality_table;
+    quality_table.set_header({"util", "strategy", "mean resp", "p99 resp",
+                              "probes/job"});
+    quality_table.set_align(1, kdc::table_align::left);
+    const std::uint64_t d_pool = 3 * k;
+    for (const double util : utilizations) {
+        const auto shared = run_one(workers, jobs, k, d_pool,
+                                    probe_strategy::batch_kd_choice, util,
+                                    ++run_seed);
+        const auto per_task = run_one(workers, jobs, k, d_pool,
+                                      probe_strategy::per_task_d_choice, util,
+                                      ++run_seed);
+        auto row = [&](const char* name,
+                       const kdc::sched::scheduler_result& r) {
+            quality_table.add_row(
+                {kdc::format_fixed(util, 2), name,
+                 kdc::format_fixed(r.response_time.mean, 3),
+                 kdc::format_fixed(r.response_time.p99, 2),
+                 kdc::format_fixed(static_cast<double>(r.probe_messages) /
+                                       static_cast<double>(jobs), 1)});
+        };
+        row("(k,3k)-choice shared", shared);
+        row("per-task 3k-choice", per_task);
+    }
+    std::cout << quality_table << '\n'
+              << "Shapes to verify: in (a), shared probing beats per-task at "
+                 "every utilization for the\n"
+                 "same probes/job; in (b), shared stays competitive while "
+                 "spending 1/k of the messages.\n";
+    return 0;
+}

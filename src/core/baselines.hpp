@@ -1,0 +1,118 @@
+// Baseline and variant allocation processes the paper positions against:
+//
+//  * one_plus_beta_process  — the (1+beta)-choice of Peres, Talwar, Wieder
+//    (SODA 2010): each ball takes the lesser loaded of two random bins with
+//    probability beta and a single random bin otherwise. The paper cites it
+//    as the other "mix of single- and multi-choice" scheme (Section 1).
+//  * batched_greedy_process — the modified policy sketched in Section 7
+//    ("less-loaded candidate bins can receive more balls regardless of how
+//    many times those bins are sampled"): k balls go greedily, one at a
+//    time, to the currently least loaded *distinct* sampled bin. The paper
+//    conjectures this reduces the max load to O(1) even for k ~ d.
+//  * adaptive_threshold_process — a Czumaj-Stemann-flavored adaptive scheme:
+//    a ball keeps probing until it finds a bin below a load threshold (or
+//    exhausts its probe budget and takes the best seen). Message cost is
+//    variable; the paper's Table of comparisons contrasts adaptive
+//    O(ln ln n / ln d)-load / (1+o(1))n-message schemes with (k,d)-choice.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/round_kernel.hpp"
+#include "core/types.hpp"
+#include "rng/xoshiro256ss.hpp"
+#include "support/contracts.hpp"
+
+namespace kdc::core {
+
+class one_plus_beta_process {
+public:
+    /// beta in [0, 1]: 0 degenerates to single-choice, 1 to two-choice.
+    one_plus_beta_process(std::uint64_t n, double beta, std::uint64_t seed);
+
+    void run_balls(std::uint64_t balls);
+
+    [[nodiscard]] const load_vector& loads() const noexcept { return loads_; }
+    [[nodiscard]] std::uint64_t balls_placed() const noexcept {
+        return balls_placed_;
+    }
+    [[nodiscard]] std::uint64_t messages() const noexcept { return messages_; }
+    [[nodiscard]] std::uint64_t n() const noexcept { return loads_.size(); }
+    [[nodiscard]] double beta() const noexcept { return beta_; }
+
+private:
+    load_vector loads_;
+    double beta_;
+    std::uint64_t balls_placed_ = 0;
+    std::uint64_t messages_ = 0;
+    rng::xoshiro256ss gen_;
+};
+
+class batched_greedy_process {
+public:
+    /// Requires 1 <= k, k < d <= n (same parameter space as (k,d)-choice).
+    batched_greedy_process(std::uint64_t n, std::uint64_t k, std::uint64_t d,
+                           std::uint64_t seed);
+
+    /// Starts from an existing load vector (see Section 7's worked example).
+    batched_greedy_process(load_vector initial_loads, std::uint64_t k,
+                           std::uint64_t d, std::uint64_t seed);
+
+    void run_round();
+    void run_round_with_samples(std::span<const std::uint32_t> samples);
+    void run_balls(std::uint64_t balls);
+
+    [[nodiscard]] const load_vector& loads() const noexcept { return loads_; }
+    [[nodiscard]] std::uint64_t balls_placed() const noexcept {
+        return balls_placed_;
+    }
+    [[nodiscard]] std::uint64_t messages() const noexcept { return messages_; }
+    [[nodiscard]] std::uint64_t n() const noexcept { return loads_.size(); }
+    [[nodiscard]] std::uint64_t k() const noexcept { return k_; }
+    [[nodiscard]] std::uint64_t d() const noexcept { return d_; }
+
+private:
+    load_vector loads_;
+    std::uint64_t k_;
+    std::uint64_t d_;
+    std::uint64_t balls_placed_ = 0;
+    std::uint64_t messages_ = 0;
+    std::vector<std::uint32_t> sample_buffer_;
+    std::vector<std::uint32_t> distinct_buffer_;
+    rng::xoshiro256ss gen_;
+};
+
+class adaptive_threshold_process {
+public:
+    /// Each ball probes until it sees load < `threshold`, up to `max_probes`
+    /// probes; on exhaustion it takes the least loaded bin probed.
+    adaptive_threshold_process(std::uint64_t n, bin_load threshold,
+                               std::uint32_t max_probes, std::uint64_t seed);
+
+    void run_balls(std::uint64_t balls);
+
+    [[nodiscard]] const load_vector& loads() const noexcept { return loads_; }
+    [[nodiscard]] std::uint64_t balls_placed() const noexcept {
+        return balls_placed_;
+    }
+    [[nodiscard]] std::uint64_t messages() const noexcept { return messages_; }
+    [[nodiscard]] std::uint64_t n() const noexcept { return loads_.size(); }
+    /// Average probes per ball so far (message efficiency of adaptivity).
+    [[nodiscard]] double mean_probes() const {
+        KD_EXPECTS(balls_placed_ > 0);
+        return static_cast<double>(messages_) /
+               static_cast<double>(balls_placed_);
+    }
+
+private:
+    load_vector loads_;
+    bin_load threshold_;
+    std::uint32_t max_probes_;
+    std::uint64_t balls_placed_ = 0;
+    std::uint64_t messages_ = 0;
+    rng::xoshiro256ss gen_;
+};
+
+} // namespace kdc::core

@@ -1,0 +1,113 @@
+#include "core/coupling.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/round_kernel.hpp"
+#include "rng/sampling.hpp"
+#include "rng/xoshiro256ss.hpp"
+#include "support/contracts.hpp"
+
+namespace kdc::core {
+
+namespace {
+
+/// Counts, for every prefix length x, whether the top-x load sums are
+/// ordered better <= worse; accumulates into the report.
+void compare_prefixes(const load_vector& better, const load_vector& worse,
+                      coupling_report& report) {
+    auto sorted_better = sorted_loads_desc(better);
+    auto sorted_worse = sorted_loads_desc(worse);
+    std::uint64_t sum_better = 0;
+    std::uint64_t sum_worse = 0;
+    for (std::size_t x = 0; x < sorted_better.size(); ++x) {
+        sum_better += sorted_better[x];
+        sum_worse += sorted_worse[x];
+        ++report.comparisons;
+        if (sum_better > sum_worse) {
+            ++report.violations;
+        }
+    }
+}
+
+} // namespace
+
+coupling_report couple_property_ii(std::uint64_t n, std::uint64_t k,
+                                   std::uint64_t d, std::uint64_t alpha,
+                                   std::uint64_t rounds, std::uint64_t seed) {
+    KD_EXPECTS(k >= 1 && k < d);
+    KD_EXPECTS(alpha >= 1);
+    KD_EXPECTS(d + alpha <= n);
+
+    rng::xoshiro256ss sample_gen(seed);
+    rng::xoshiro256ss tie_gen_better(seed ^ 0x9e3779b97f4a7c15ULL);
+    rng::xoshiro256ss tie_gen_worse(seed ^ 0xda942042e4dd58b5ULL);
+
+    load_vector better(n, 0); // A(k, d+alpha)
+    load_vector worse(n, 0);  // A(k, d)
+    round_scratch scratch_better;
+    round_scratch scratch_worse;
+
+    std::vector<std::uint32_t> probes(d + alpha);
+    coupling_report report;
+    for (std::uint64_t r = 0; r < rounds; ++r) {
+        rng::sample_with_replacement(sample_gen, n,
+                                     std::span<std::uint32_t>(probes));
+        // The d-probe process uses a random subset of the d+alpha probes:
+        // shuffle and take the prefix.
+        rng::shuffle(sample_gen, std::span<std::uint32_t>(probes));
+        place_round(better, probes, k, tie_gen_better, scratch_better);
+        place_round(worse,
+                    std::span<const std::uint32_t>(probes.data(), d), k,
+                    tie_gen_worse, scratch_worse);
+        ++report.rounds;
+        compare_prefixes(better, worse, report);
+    }
+    report.final_better = std::move(better);
+    report.final_worse = std::move(worse);
+    return report;
+}
+
+coupling_report couple_property_iv(std::uint64_t n, std::uint64_t k,
+                                   std::uint64_t d, std::uint64_t alpha,
+                                   std::uint64_t super_rounds,
+                                   std::uint64_t seed) {
+    KD_EXPECTS(k >= 1 && k < d);
+    KD_EXPECTS(alpha >= 1);
+    KD_EXPECTS(alpha * d <= n);
+
+    rng::xoshiro256ss sample_gen(seed);
+    rng::xoshiro256ss tie_gen_better(seed ^ 0x9e3779b97f4a7c15ULL);
+    rng::xoshiro256ss tie_gen_worse(seed ^ 0xda942042e4dd58b5ULL);
+
+    load_vector better(n, 0); // A(alpha*k, alpha*d)
+    load_vector worse(n, 0);  // A(k, d), alpha rounds per super-round
+    round_scratch scratch_better;
+    round_scratch scratch_worse;
+
+    std::vector<std::uint32_t> probes(alpha * d);
+    coupling_report report;
+    for (std::uint64_t r = 0; r < super_rounds; ++r) {
+        rng::sample_with_replacement(sample_gen, n,
+                                     std::span<std::uint32_t>(probes));
+        place_round(better, probes, alpha * k, tie_gen_better,
+                    scratch_better);
+        // Partition into alpha random groups of d: a shuffle makes the
+        // groups exchangeable, exactly the paper's random partition.
+        rng::shuffle(sample_gen, std::span<std::uint32_t>(probes));
+        for (std::uint64_t g = 0; g < alpha; ++g) {
+            place_round(worse,
+                        std::span<const std::uint32_t>(
+                            probes.data() + g * d, d),
+                        k, tie_gen_worse, scratch_worse);
+        }
+        ++report.rounds;
+        compare_prefixes(better, worse, report);
+    }
+    report.final_better = std::move(better);
+    report.final_worse = std::move(worse);
+    return report;
+}
+
+} // namespace kdc::core

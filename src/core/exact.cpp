@@ -1,0 +1,159 @@
+#include "core/exact.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "support/contracts.hpp"
+
+namespace kdc::core {
+
+namespace {
+
+/// Enumerates all size-r subsets of {0,...,t-1}, invoking `visit` on each.
+void for_each_combination(std::uint64_t t, std::uint64_t r,
+                          const std::function<void(
+                              const std::vector<std::uint64_t>&)>& visit) {
+    std::vector<std::uint64_t> chosen(r);
+    std::function<void(std::uint64_t, std::uint64_t)> recurse =
+        [&](std::uint64_t start, std::uint64_t depth) {
+            if (depth == r) {
+                visit(chosen);
+                return;
+            }
+            for (std::uint64_t i = start; i + (r - depth) <= t; ++i) {
+                chosen[depth] = i;
+                recurse(i + 1, depth + 1);
+            }
+        };
+    recurse(0, 0);
+}
+
+/// Applies one probe tuple to a state: returns the distribution over
+/// resulting sorted load vectors (several outcomes when boundary ties must
+/// be broken randomly).
+void apply_tuple(const std::vector<bin_load>& loads,
+                 const std::vector<std::uint32_t>& tuple, std::uint64_t k,
+                 double tuple_prob, state_distribution& out) {
+    // Build slots: occurrence index per duplicate sample.
+    struct slot {
+        bin_load height;
+        std::uint32_t bin;
+    };
+    std::vector<slot> slots;
+    slots.reserve(tuple.size());
+    std::vector<std::uint32_t> sorted_tuple(tuple);
+    std::sort(sorted_tuple.begin(), sorted_tuple.end());
+    for (std::size_t i = 0; i < sorted_tuple.size();) {
+        const std::uint32_t bin = sorted_tuple[i];
+        bin_load occ = 0;
+        for (; i < sorted_tuple.size() && sorted_tuple[i] == bin; ++i) {
+            slots.push_back(slot{loads[bin] + (++occ), bin});
+        }
+    }
+    std::sort(slots.begin(), slots.end(),
+              [](const slot& a, const slot& b) { return a.height < b.height; });
+
+    // Cut-off height: the k-th smallest slot height. Slots strictly below
+    // the cut are always kept; among slots at the cut (distinct bins), a
+    // uniform subset fills the remainder.
+    const bin_load cut = slots[k - 1].height;
+    std::vector<std::uint32_t> below_bins;
+    std::vector<std::uint32_t> at_bins;
+    for (const auto& s : slots) {
+        if (s.height < cut) {
+            below_bins.push_back(s.bin);
+        } else if (s.height == cut) {
+            at_bins.push_back(s.bin);
+        }
+    }
+    const std::uint64_t need = k - below_bins.size();
+    KD_ASSERT(need >= 1 && need <= at_bins.size());
+
+    double n_choices = 1.0;
+    // C(t, r) in doubles (t <= d <= ~6 here).
+    for (std::uint64_t i = 0; i < need; ++i) {
+        n_choices *= static_cast<double>(at_bins.size() - i) /
+                     static_cast<double>(i + 1);
+    }
+    const double choice_prob = tuple_prob / n_choices;
+
+    for_each_combination(
+        at_bins.size(), need,
+        [&](const std::vector<std::uint64_t>& chosen) {
+            std::vector<bin_load> next(loads);
+            for (const auto bin : below_bins) {
+                next[bin] += 1;
+            }
+            for (const auto idx : chosen) {
+                next[at_bins[idx]] += 1;
+            }
+            std::sort(next.begin(), next.end(), std::greater<>{});
+            out[next] += choice_prob;
+        });
+}
+
+} // namespace
+
+state_distribution exact_round(const std::vector<bin_load>& sorted_loads,
+                               std::uint64_t k, std::uint64_t d) {
+    KD_EXPECTS(!sorted_loads.empty());
+    KD_EXPECTS(k >= 1 && k <= d);
+    KD_EXPECTS(std::is_sorted(sorted_loads.begin(), sorted_loads.end(),
+                              std::greater<>{}));
+    const auto n = sorted_loads.size();
+    const double tuples = std::pow(static_cast<double>(n),
+                                   static_cast<double>(d));
+    KD_EXPECTS_MSG(tuples <= 1e8, "state space too large for enumeration");
+
+    state_distribution out;
+    const double tuple_prob = 1.0 / tuples;
+    std::vector<std::uint32_t> tuple(d, 0);
+    // Odometer enumeration of all n^d ordered tuples.
+    while (true) {
+        apply_tuple(sorted_loads, tuple, k, tuple_prob, out);
+        std::size_t pos = 0;
+        while (pos < tuple.size()) {
+            if (++tuple[pos] < n) {
+                break;
+            }
+            tuple[pos] = 0;
+            ++pos;
+        }
+        if (pos == tuple.size()) {
+            break;
+        }
+    }
+    return out;
+}
+
+state_distribution exact_process(std::uint64_t n, std::uint64_t k,
+                                 std::uint64_t d, std::uint64_t rounds) {
+    KD_EXPECTS(n >= 1 && k >= 1 && k <= d && d <= n);
+    state_distribution current;
+    current[std::vector<bin_load>(n, 0)] = 1.0;
+    for (std::uint64_t r = 0; r < rounds; ++r) {
+        state_distribution next;
+        for (const auto& [state, prob] : current) {
+            for (const auto& [next_state, step_prob] :
+                 exact_round(state, k, d)) {
+                next[next_state] += prob * step_prob;
+            }
+        }
+        current = std::move(next);
+    }
+    return current;
+}
+
+std::map<bin_load, double> exact_max_load(std::uint64_t n, std::uint64_t k,
+                                          std::uint64_t d) {
+    KD_EXPECTS_MSG(n % k == 0, "requires whole rounds (k | n)");
+    const auto final_states = exact_process(n, k, d, n / k);
+    std::map<bin_load, double> out;
+    for (const auto& [state, prob] : final_states) {
+        out[state.front()] += prob; // sorted descending: front is the max
+    }
+    return out;
+}
+
+} // namespace kdc::core

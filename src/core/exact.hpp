@@ -1,0 +1,47 @@
+// Exact distribution of the (k,d)-choice process on small instances, by
+// full enumeration of the Markov chain over sorted load vectors.
+//
+// Because bins are exchangeable and probes are uniform, the sorted load
+// multiset is a lossless state. One round enumerates all n^d ordered probe
+// tuples (each with probability n^-d); within a tuple, the k kept slots are
+// the k of smallest height, and boundary ties (slots at the cut-off height,
+// necessarily in distinct bins) are chosen uniformly — enumerated exactly
+// via combinations.
+//
+// This is a verification oracle: the test suite cross-checks simulated
+// frequencies against these exact probabilities (chi-square), closing the
+// loop between the fast sampling kernel and the process definition. It is
+// exponential in d and n — intended for n, d <= ~6.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace kdc::core {
+
+/// A distribution over sorted (descending) load vectors.
+using state_distribution = std::map<std::vector<bin_load>, double>;
+
+/// One exact round: the distribution of the sorted load vector after
+/// placing k balls from state `sorted_loads` (must be sorted descending).
+/// Requires 1 <= k <= d and n^d to be enumerable (contract-checked at 10^8).
+[[nodiscard]] state_distribution
+exact_round(const std::vector<bin_load>& sorted_loads, std::uint64_t k,
+            std::uint64_t d);
+
+/// Exact distribution over sorted load vectors after `rounds` rounds of the
+/// (k,d)-choice process starting from n empty bins.
+[[nodiscard]] state_distribution exact_process(std::uint64_t n,
+                                               std::uint64_t k,
+                                               std::uint64_t d,
+                                               std::uint64_t rounds);
+
+/// Exact distribution of the maximum load after n balls land in n bins
+/// (n/k rounds; requires k | n).
+[[nodiscard]] std::map<bin_load, double>
+exact_max_load(std::uint64_t n, std::uint64_t k, std::uint64_t d);
+
+} // namespace kdc::core

@@ -1,0 +1,77 @@
+// Fenwick (binary indexed) tree over small value domains. The SA_{x0}
+// process (Definition 3) needs, per ball, the number of bins whose load
+// exceeds the chosen bin's load; loads move by +1 steps so a Fenwick tree
+// indexed by load value answers both the query and the update in O(log L).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "support/contracts.hpp"
+
+namespace kdc::core {
+
+class fenwick_tree {
+public:
+    explicit fenwick_tree(std::size_t size = 0) : tree_(size + 1, 0) {}
+
+    [[nodiscard]] std::size_t size() const noexcept {
+        return tree_.size() - 1;
+    }
+
+    /// Grows the domain to at least `size` positions (amortized; existing
+    /// counts are preserved by rebuilding).
+    void grow_to(std::size_t size) {
+        if (size <= this->size()) {
+            return;
+        }
+        std::vector<std::uint64_t> values(this->size(), 0);
+        for (std::size_t i = 0; i < values.size(); ++i) {
+            values[i] = value_at(i);
+        }
+        values.resize(std::max(size, this->size() * 2), 0);
+        tree_.assign(values.size() + 1, 0);
+        for (std::size_t i = 0; i < values.size(); ++i) {
+            if (values[i] != 0) {
+                add(i, static_cast<std::int64_t>(values[i]));
+            }
+        }
+    }
+
+    /// Adds `delta` at position `index` (index < size()).
+    void add(std::size_t index, std::int64_t delta) {
+        KD_EXPECTS(index < size());
+        for (std::size_t i = index + 1; i < tree_.size(); i += i & (~i + 1)) {
+            tree_[i] = static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(tree_[i]) + delta);
+        }
+    }
+
+    /// Sum of positions [0, index) — i.e. strictly below `index`.
+    [[nodiscard]] std::uint64_t prefix_sum(std::size_t index) const {
+        KD_EXPECTS(index <= size());
+        std::uint64_t sum = 0;
+        for (std::size_t i = index; i > 0; i -= i & (~i + 1)) {
+            sum += tree_[i];
+        }
+        return sum;
+    }
+
+    /// Sum of positions [index, size()).
+    [[nodiscard]] std::uint64_t suffix_sum(std::size_t index) const {
+        return total() - prefix_sum(index);
+    }
+
+    [[nodiscard]] std::uint64_t total() const { return prefix_sum(size()); }
+
+    /// Count at a single position.
+    [[nodiscard]] std::uint64_t value_at(std::size_t index) const {
+        return prefix_sum(index + 1) - prefix_sum(index);
+    }
+
+private:
+    std::vector<std::uint64_t> tree_;
+};
+
+} // namespace kdc::core

@@ -1,0 +1,23 @@
+// Umbrella header: the public API of the kdchoice library.
+//
+//   #include "core/kdchoice.hpp"
+//
+//   kdc::core::kd_choice_process process(/*n=*/1 << 16, /*k=*/8, /*d=*/16,
+//                                        /*seed=*/42);
+//   process.run_balls(process.n());
+//   auto metrics = kdc::core::compute_load_metrics(process.loads());
+//
+// See examples/quickstart.cpp for a complete walk-through.
+#pragma once
+
+#include "core/baselines.hpp"   // (1+beta), batched-greedy, adaptive
+#include "core/coupling.hpp"    // Section 3 coupling experiments
+#include "core/exact.hpp"       // exact small-instance distributions
+#include "core/metrics.hpp"     // nu_y / mu_y / sorted loads / gap
+#include "core/process.hpp"     // kd_choice_process + classic baselines
+#include "core/round_kernel.hpp" // one-round primitive (advanced use)
+#include "core/runner.hpp"      // multi-repetition experiments
+#include "core/serialized.hpp"  // Definition 1 serialization
+#include "core/threshold.hpp"   // Definition 3 SA_{x0}
+#include "core/types.hpp"
+#include "core/weighted.hpp"    // weighted (k,d)-choice

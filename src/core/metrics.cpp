@@ -1,0 +1,94 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+
+#include "support/contracts.hpp"
+
+namespace kdc::core {
+
+load_metrics compute_load_metrics(const load_vector& loads) {
+    KD_EXPECTS(!loads.empty());
+    load_metrics out;
+    out.min_load = loads.front();
+    for (const bin_load load : loads) {
+        out.total_balls += load;
+        out.max_load = std::max<std::uint64_t>(out.max_load, load);
+        out.min_load = std::min<std::uint64_t>(out.min_load, load);
+        if (load == 0) {
+            ++out.empty_bins;
+        }
+    }
+    out.mean_load =
+        static_cast<double>(out.total_balls) / static_cast<double>(loads.size());
+    out.gap = static_cast<double>(out.max_load) - out.mean_load;
+    return out;
+}
+
+std::uint64_t nu_y(const load_vector& loads, std::uint64_t y) {
+    std::uint64_t count = 0;
+    for (const bin_load load : loads) {
+        if (load >= y) {
+            ++count;
+        }
+    }
+    return count;
+}
+
+std::uint64_t mu_y(const load_vector& loads, std::uint64_t y) {
+    if (y == 0) {
+        // Every ball has height >= 0; also every "phantom" ball of height 0
+        // would, but heights start at 1, so mu_0 = total balls.
+        std::uint64_t total = 0;
+        for (const bin_load load : loads) {
+            total += load;
+        }
+        return total;
+    }
+    std::uint64_t count = 0;
+    for (const bin_load load : loads) {
+        if (load >= y) {
+            count += load - y + 1;
+        }
+    }
+    return count;
+}
+
+std::vector<std::uint64_t> load_histogram(const load_vector& loads) {
+    std::vector<std::uint64_t> hist;
+    for (const bin_load load : loads) {
+        if (load >= hist.size()) {
+            hist.resize(load + 1, 0);
+        }
+        ++hist[load];
+    }
+    if (hist.empty()) {
+        hist.resize(1, 0);
+    }
+    return hist;
+}
+
+std::vector<std::uint64_t> nu_profile(const load_vector& loads) {
+    const auto hist = load_histogram(loads);
+    std::vector<std::uint64_t> profile(hist.size() + 1, 0);
+    // Suffix-sum the histogram: nu_y = #bins with load >= y.
+    for (std::uint64_t y = hist.size(); y-- > 0;) {
+        profile[y] = profile[y + 1] + hist[y];
+    }
+    return profile;
+}
+
+std::vector<bin_load> sorted_loads_desc(const load_vector& loads) {
+    std::vector<bin_load> sorted(loads);
+    std::sort(sorted.begin(), sorted.end(), std::greater<>{});
+    return sorted;
+}
+
+bin_load load_of_rank(const load_vector& loads, std::uint64_t x) {
+    KD_EXPECTS(x >= 1 && x <= loads.size());
+    std::vector<bin_load> copy(loads);
+    auto nth = copy.begin() + static_cast<std::ptrdiff_t>(x - 1);
+    std::nth_element(copy.begin(), nth, copy.end(), std::greater<>{});
+    return *nth;
+}
+
+} // namespace kdc::core

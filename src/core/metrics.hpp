@@ -1,0 +1,52 @@
+// Metrics over final (or intermediate) load vectors, matching the paper's
+// notation (Section 2.1):
+//   * nu_y  — number of bins with at least y balls
+//   * mu_y  — number of balls with height at least y; since ball heights in a
+//             bin of load L are exactly 1..L, mu_y = sum_b max(L_b - y + 1, 0)
+//   * B_x   — load of the x-th most loaded bin (sorted load vector)
+//   * gap   — max load minus average load (Berenbrink et al.'s metric for
+//             the heavily loaded case)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace kdc::core {
+
+struct load_metrics {
+    std::uint64_t max_load = 0;
+    std::uint64_t min_load = 0;
+    std::uint64_t total_balls = 0;
+    double mean_load = 0.0;
+    double gap = 0.0;        ///< max_load - mean_load
+    std::uint64_t empty_bins = 0;
+};
+
+/// Single pass over the load vector. Requires a non-empty vector.
+[[nodiscard]] load_metrics compute_load_metrics(const load_vector& loads);
+
+/// nu_y: number of bins with load >= y.
+[[nodiscard]] std::uint64_t nu_y(const load_vector& loads, std::uint64_t y);
+
+/// mu_y: number of balls with height >= y.
+[[nodiscard]] std::uint64_t mu_y(const load_vector& loads, std::uint64_t y);
+
+/// Counts of bins per load value; index = load, entry = #bins.
+[[nodiscard]] std::vector<std::uint64_t>
+load_histogram(const load_vector& loads);
+
+/// nu_y for every y in [0, max_load + 1]; nu_profile(loads)[y] == nu_y(y).
+/// The final entry is always 0, which closes the profile for plotting.
+[[nodiscard]] std::vector<std::uint64_t>
+nu_profile(const load_vector& loads);
+
+/// The sorted load vector of Figures 1 and 2: entry x-1 is B_x, the load of
+/// the x-th most loaded bin.
+[[nodiscard]] std::vector<bin_load> sorted_loads_desc(const load_vector& loads);
+
+/// B_x for 1-based rank x (convenience over sorted_loads_desc for one rank).
+[[nodiscard]] bin_load load_of_rank(const load_vector& loads, std::uint64_t x);
+
+} // namespace kdc::core

@@ -1,0 +1,95 @@
+#include "core/process.hpp"
+
+#include <algorithm>
+
+#include "rng/uniform.hpp"
+
+namespace kdc::core {
+
+kd_choice_process::kd_choice_process(std::uint64_t n, std::uint64_t k,
+                                     std::uint64_t d, std::uint64_t seed)
+    : kd_choice_process(load_vector(n, 0), k, d, seed) {}
+
+kd_choice_process::kd_choice_process(load_vector initial_loads,
+                                     std::uint64_t k, std::uint64_t d,
+                                     std::uint64_t seed)
+    : loads_(std::move(initial_loads)), k_(k), d_(d), gen_(seed) {
+    KD_EXPECTS_MSG(k >= 1, "k must be positive");
+    KD_EXPECTS_MSG(k < d, "(k,d)-choice requires k < d");
+    KD_EXPECTS_MSG(d <= loads_.size(), "cannot probe more bins than exist");
+    sample_buffer_.resize(d);
+}
+
+void kd_choice_process::run_round() {
+    if (probe_mode_ == probe_mode::with_replacement) {
+        rng::sample_with_replacement(gen_, loads_.size(),
+                                     std::span<std::uint32_t>(sample_buffer_));
+    } else {
+        const auto distinct =
+            rng::sample_without_replacement(gen_, loads_.size(), d_);
+        std::copy(distinct.begin(), distinct.end(), sample_buffer_.begin());
+    }
+    run_round_with_samples(sample_buffer_);
+}
+
+void kd_choice_process::run_round_with_samples(
+    std::span<const std::uint32_t> samples) {
+    KD_EXPECTS_MSG(samples.size() == d_, "a round probes exactly d bins");
+    place_round(loads_, samples, k_, gen_, scratch_,
+                record_heights_ ? &height_log_ : nullptr);
+    balls_placed_ += k_;
+    rounds_run_ += 1;
+    messages_ += d_;
+}
+
+void kd_choice_process::run_balls(std::uint64_t balls) {
+    KD_EXPECTS_MSG(balls % k_ == 0,
+                   "balls must be a multiple of k (whole rounds)");
+    for (std::uint64_t placed = 0; placed < balls; placed += k_) {
+        run_round();
+    }
+}
+
+single_choice_process::single_choice_process(std::uint64_t n,
+                                             std::uint64_t seed)
+    : loads_(n, 0), gen_(seed) {
+    KD_EXPECTS(n >= 1);
+}
+
+void single_choice_process::run_balls(std::uint64_t balls) {
+    const std::uint64_t n = loads_.size();
+    for (std::uint64_t i = 0; i < balls; ++i) {
+        loads_[rng::uniform_below(gen_, n)] += 1;
+    }
+    balls_placed_ += balls;
+}
+
+d_choice_process::d_choice_process(std::uint64_t n, std::uint64_t d,
+                                   std::uint64_t seed)
+    : loads_(n, 0), d_(d), gen_(seed) {
+    KD_EXPECTS(d >= 1);
+    KD_EXPECTS(d <= n);
+}
+
+void d_choice_process::run_balls(std::uint64_t balls) {
+    const std::uint64_t n = loads_.size();
+    for (std::uint64_t i = 0; i < balls; ++i) {
+        // Least loaded of d probes; ties go to the first minimum seen, which
+        // is uniform over tied bins because probe order is itself random.
+        std::uint32_t best = static_cast<std::uint32_t>(
+            rng::uniform_below(gen_, n));
+        bin_load best_load = loads_[best];
+        for (std::uint64_t probe = 1; probe < d_; ++probe) {
+            const auto candidate =
+                static_cast<std::uint32_t>(rng::uniform_below(gen_, n));
+            if (loads_[candidate] < best_load) {
+                best = candidate;
+                best_load = loads_[candidate];
+            }
+        }
+        loads_[best] += 1;
+    }
+    balls_placed_ += balls;
+}
+
+} // namespace kdc::core

@@ -1,0 +1,165 @@
+// The (k,d)-choice allocation process (the paper's primary contribution) and
+// the classical single-choice process it generalizes.
+//
+// All processes share a tiny informal interface used by the generic
+// experiment runner (core/runner.hpp):
+//     void run_balls(std::uint64_t balls);
+//     const load_vector& loads() const;
+//     std::uint64_t balls_placed() const;
+//     std::uint64_t messages() const;   // bins probed so far (footnote 1)
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/round_kernel.hpp"
+#include "core/types.hpp"
+#include "rng/sampling.hpp"
+#include "rng/xoshiro256ss.hpp"
+#include "support/contracts.hpp"
+
+namespace kdc::core {
+
+/// Concept for the process interface shared by every allocator in this
+/// library; the experiment runner and the benchmarks are generic over it.
+template <typename P>
+concept allocation_process = requires(P p, const P cp, std::uint64_t balls) {
+    p.run_balls(balls);
+    { cp.loads() } -> std::convertible_to<const load_vector&>;
+    { cp.balls_placed() } -> std::convertible_to<std::uint64_t>;
+    { cp.messages() } -> std::convertible_to<std::uint64_t>;
+};
+
+/// How a round's d probes are drawn. The paper uses with_replacement
+/// (Section 1.1); without_replacement is an ablation: it removes the
+/// multiplicity ambiguity entirely (every probe is a distinct bin) at the
+/// cost of a slightly slower sampler, and can only improve the allocation.
+enum class probe_mode { with_replacement, without_replacement };
+
+/// The (k,d)-choice process: in each round, k balls go to the k least loaded
+/// of d bins chosen i.u.r. with replacement, under the multiplicity rule
+/// (a bin sampled m times receives at most m balls). Section 1.1.
+class kd_choice_process {
+public:
+    /// Requires 1 <= k < d <= n.
+    kd_choice_process(std::uint64_t n, std::uint64_t k, std::uint64_t d,
+                      std::uint64_t seed);
+
+    /// Starts from an existing load vector (snapshot resume, heavily loaded
+    /// starts, and the worked scenarios of Sections 1 and 7).
+    /// balls_placed()/messages() count only activity after construction.
+    kd_choice_process(load_vector initial_loads, std::uint64_t k,
+                      std::uint64_t d, std::uint64_t seed);
+
+    /// Runs one round: samples d bins and places k balls.
+    void run_round();
+
+    /// Runs one round with an explicitly supplied probe multiset (tests and
+    /// the worked scenarios of Section 1 use this; sampling is bypassed but
+    /// tie-breaking randomness still applies). samples.size() must equal d.
+    void run_round_with_samples(std::span<const std::uint32_t> samples);
+
+    /// Places `balls` balls (must be a multiple of k: whole rounds).
+    void run_balls(std::uint64_t balls);
+
+    [[nodiscard]] const load_vector& loads() const noexcept { return loads_; }
+    [[nodiscard]] std::uint64_t balls_placed() const noexcept {
+        return balls_placed_;
+    }
+    [[nodiscard]] std::uint64_t rounds_run() const noexcept {
+        return rounds_run_;
+    }
+    /// Probe messages issued so far: d per round (footnote 1 of the paper).
+    [[nodiscard]] std::uint64_t messages() const noexcept { return messages_; }
+
+    [[nodiscard]] std::uint64_t n() const noexcept { return loads_.size(); }
+    [[nodiscard]] std::uint64_t k() const noexcept { return k_; }
+    [[nodiscard]] std::uint64_t d() const noexcept { return d_; }
+
+    /// Switches the probe sampler (default: with_replacement, the paper's
+    /// model). Takes effect from the next round.
+    void set_probe_mode(probe_mode mode) noexcept { probe_mode_ = mode; }
+    [[nodiscard]] probe_mode probes() const noexcept { return probe_mode_; }
+
+    /// Heights of all balls placed so far, in placement order within each
+    /// round (increasing height). Recording is off by default (hot path);
+    /// enable before running.
+    void record_heights(bool enable) { record_heights_ = enable; }
+    [[nodiscard]] const std::vector<placed_ball>& height_log() const noexcept {
+        return height_log_;
+    }
+
+private:
+    load_vector loads_;
+    std::uint64_t k_;
+    std::uint64_t d_;
+    std::uint64_t balls_placed_ = 0;
+    std::uint64_t rounds_run_ = 0;
+    std::uint64_t messages_ = 0;
+    probe_mode probe_mode_ = probe_mode::with_replacement;
+    bool record_heights_ = false;
+    std::vector<placed_ball> height_log_;
+    std::vector<std::uint32_t> sample_buffer_;
+    round_scratch scratch_;
+    rng::xoshiro256ss gen_;
+};
+
+/// Classical single-choice: every ball goes to one bin chosen i.u.r.
+/// Max load (1+o(1)) ln n / ln ln n w.h.p. [Raab-Steger]. This is also the
+/// paper's SA = SA(k,k) equivalence: placing k balls into k random bins per
+/// round is the same process ball-by-ball.
+class single_choice_process {
+public:
+    single_choice_process(std::uint64_t n, std::uint64_t seed);
+
+    void run_balls(std::uint64_t balls);
+
+    [[nodiscard]] const load_vector& loads() const noexcept { return loads_; }
+    [[nodiscard]] std::uint64_t balls_placed() const noexcept {
+        return balls_placed_;
+    }
+    [[nodiscard]] std::uint64_t messages() const noexcept {
+        return balls_placed_; // one probe per ball
+    }
+    [[nodiscard]] std::uint64_t n() const noexcept { return loads_.size(); }
+
+private:
+    load_vector loads_;
+    std::uint64_t balls_placed_ = 0;
+    rng::xoshiro256ss gen_;
+};
+
+/// Classical d-choice of Azar et al. = (1, d)-choice: each ball goes to the
+/// least loaded of d bins chosen i.u.r. Provided as a dedicated fast path
+/// (no slot sort needed when k == 1); distributionally identical to
+/// kd_choice_process with k = 1.
+class d_choice_process {
+public:
+    d_choice_process(std::uint64_t n, std::uint64_t d, std::uint64_t seed);
+
+    void run_balls(std::uint64_t balls);
+
+    [[nodiscard]] const load_vector& loads() const noexcept { return loads_; }
+    [[nodiscard]] std::uint64_t balls_placed() const noexcept {
+        return balls_placed_;
+    }
+    [[nodiscard]] std::uint64_t messages() const noexcept {
+        return balls_placed_ * d_;
+    }
+    [[nodiscard]] std::uint64_t n() const noexcept { return loads_.size(); }
+    [[nodiscard]] std::uint64_t d() const noexcept { return d_; }
+
+private:
+    load_vector loads_;
+    std::uint64_t d_;
+    std::uint64_t balls_placed_ = 0;
+    rng::xoshiro256ss gen_;
+};
+
+static_assert(allocation_process<kd_choice_process>);
+static_assert(allocation_process<single_choice_process>);
+static_assert(allocation_process<d_choice_process>);
+
+} // namespace kdc::core

@@ -1,0 +1,128 @@
+// One round of the (k,d)-choice process.
+//
+// The paper resolves the multi-sampling ambiguity (Section 1, scenarios
+// (a)-(c)) with the rule "a bin sampled m >= 1 times receives at most m
+// balls", equivalently: place d balls sequentially into the d sampled bins,
+// then remove the d-k balls of maximal height. This kernel implements that
+// rule directly as slot selection:
+//
+//   * every occurrence of bin b in the sample multiset contributes one
+//     candidate slot with height load(b) + occurrence_index;
+//   * the k slots of smallest height are kept, ties broken uniformly at
+//     random via per-slot 64-bit keys ("ties broken randomly", Section 1.1);
+//   * keeping the k smallest is self-consistent: a bin's slots have strictly
+//     increasing heights, so a kept slot implies all lower slots of the same
+//     bin are kept — exactly "remove the d-k balls with maximal height".
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/types.hpp"
+#include "rng/uniform.hpp"
+#include "support/contracts.hpp"
+
+namespace kdc::core {
+
+/// Reusable scratch buffers so the per-round hot path never allocates.
+struct round_scratch {
+    struct slot {
+        bin_load height = 0;
+        std::uint64_t tie_key = 0;
+        std::uint32_t bin = 0;
+    };
+    std::vector<std::uint32_t> sorted_samples;
+    std::vector<slot> slots;
+    /// Epoch stamps for O(d) duplicate detection (one entry per bin).
+    std::vector<std::uint32_t> stamps;
+    std::uint32_t epoch = 0;
+};
+
+/// Places `k` balls into `loads` for one round whose probe step sampled the
+/// bins in `samples` (a multiset: duplicates are meaningful). Appends the
+/// placed balls (bin, height) to `placed` when non-null, in increasing height
+/// order. Requires 1 <= k <= samples.size() and all samples < loads.size().
+template <typename G>
+    requires std::uniform_random_bit_generator<G>
+void place_round(load_vector& loads, std::span<const std::uint32_t> samples,
+                 std::size_t k, G& gen, round_scratch& scratch,
+                 std::vector<placed_ball>* placed = nullptr) {
+    KD_EXPECTS(k >= 1);
+    KD_EXPECTS_MSG(k <= samples.size(), "need at least k candidate slots");
+
+    // Duplicate samples matter (a bin sampled m times owns m slots), but at
+    // n >> d^2 they are rare, so detect them in O(d) with epoch stamps and
+    // only fall back to the sort-and-group path when one exists.
+    if (scratch.stamps.size() < loads.size()) {
+        scratch.stamps.assign(loads.size(), 0);
+        scratch.epoch = 0;
+    }
+    if (++scratch.epoch == 0) { // stamp wrap-around: clear and restart
+        std::fill(scratch.stamps.begin(), scratch.stamps.end(), 0u);
+        scratch.epoch = 1;
+    }
+    bool has_duplicates = false;
+    for (const std::uint32_t bin : samples) {
+        KD_EXPECTS(bin < loads.size());
+        if (scratch.stamps[bin] == scratch.epoch) {
+            has_duplicates = true;
+            break;
+        }
+        scratch.stamps[bin] = scratch.epoch;
+    }
+
+    auto& slots = scratch.slots;
+    slots.clear();
+    slots.reserve(samples.size());
+    if (!has_duplicates) {
+        for (const std::uint32_t bin : samples) {
+            slots.push_back(round_scratch::slot{
+                loads[bin] + 1, static_cast<std::uint64_t>(gen()), bin});
+        }
+    } else {
+        // Group duplicates so each occurrence gets its own slot height.
+        auto& sorted = scratch.sorted_samples;
+        sorted.assign(samples.begin(), samples.end());
+        std::sort(sorted.begin(), sorted.end());
+        for (std::size_t i = 0; i < sorted.size();) {
+            const std::uint32_t bin = sorted[i];
+            bin_load occurrence = 0;
+            for (; i < sorted.size() && sorted[i] == bin; ++i) {
+                ++occurrence;
+                slots.push_back(round_scratch::slot{
+                    loads[bin] + occurrence, static_cast<std::uint64_t>(gen()),
+                    bin});
+            }
+        }
+    }
+
+    // Keep the k smallest (height, tie_key) slots: select with nth_element
+    // (O(d)), then order just the kept prefix (the serialized process of
+    // Definition 1 relies on the kept slots being in increasing height
+    // order). This keeps the k=1, d=large sweeps of Table 1 cheap.
+    const auto by_height_then_key =
+        [](const round_scratch::slot& a, const round_scratch::slot& b) {
+            if (a.height != b.height) {
+                return a.height < b.height;
+            }
+            return a.tie_key < b.tie_key;
+        };
+    if (k < slots.size()) {
+        std::nth_element(slots.begin(),
+                         slots.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                         slots.end(), by_height_then_key);
+    }
+    std::sort(slots.begin(), slots.begin() + static_cast<std::ptrdiff_t>(k),
+              by_height_then_key);
+
+    for (std::size_t i = 0; i < k; ++i) {
+        loads[slots[i].bin] += 1;
+        if (placed != nullptr) {
+            placed->push_back(placed_ball{slots[i].bin, slots[i].height});
+        }
+    }
+}
+
+} // namespace kdc::core

@@ -1,0 +1,39 @@
+#include "core/runner.hpp"
+
+namespace kdc::core {
+
+experiment_result run_kd_experiment(std::uint64_t n, std::uint64_t k,
+                                    std::uint64_t d,
+                                    const experiment_config& config) {
+    experiment_config actual = config;
+    if (actual.balls == 0) {
+        actual.balls = n;
+    }
+    return run_experiment(actual, [n, k, d](std::uint64_t seed) {
+        return kd_choice_process(n, k, d, seed);
+    });
+}
+
+experiment_result
+run_single_choice_experiment(std::uint64_t n, const experiment_config& config) {
+    experiment_config actual = config;
+    if (actual.balls == 0) {
+        actual.balls = n;
+    }
+    return run_experiment(actual, [n](std::uint64_t seed) {
+        return single_choice_process(n, seed);
+    });
+}
+
+experiment_result run_d_choice_experiment(std::uint64_t n, std::uint64_t d,
+                                          const experiment_config& config) {
+    experiment_config actual = config;
+    if (actual.balls == 0) {
+        actual.balls = n;
+    }
+    return run_experiment(actual, [n, d](std::uint64_t seed) {
+        return d_choice_process(n, d, seed);
+    });
+}
+
+} // namespace kdc::core

@@ -1,0 +1,97 @@
+// Generic multi-repetition experiment runner. The paper's Table 1 reports,
+// per (k,d) cell, the set of maximum loads observed over ten simulation runs;
+// this runner generalizes that: it runs `reps` independent repetitions of any
+// allocation process (independent seeds derived from one master seed via
+// SplitMix64), collects per-repetition metrics, and aggregates them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/process.hpp"
+#include "rng/splitmix64.hpp"
+#include "stats/histogram.hpp"
+#include "stats/running_stats.hpp"
+#include "support/contracts.hpp"
+
+namespace kdc::core {
+
+/// Configuration for a repetition sweep.
+struct experiment_config {
+    std::uint64_t balls = 0;  ///< balls to place per repetition
+    std::uint32_t reps = 10;  ///< Table 1 uses ten runs per cell
+    std::uint64_t seed = 1;   ///< master seed; rep r uses derive_seed(seed, r)
+};
+
+/// Per-repetition observations.
+struct repetition_result {
+    std::uint64_t max_load = 0;
+    double gap = 0.0;
+    std::uint64_t messages = 0;
+    std::uint64_t empty_bins = 0;
+};
+
+/// Aggregate over all repetitions.
+struct experiment_result {
+    std::vector<repetition_result> reps;
+    stats::integer_histogram max_load_values;
+    stats::running_stats max_load_stats;
+    stats::running_stats gap_stats;
+    stats::running_stats message_stats;
+
+    /// The paper's Table-1 cell format: distinct max loads, e.g. "7, 8, 9".
+    [[nodiscard]] std::string max_load_set() const {
+        return max_load_values.support_string();
+    }
+};
+
+/// Runs `config.reps` repetitions. `factory(seed)` must return a fresh
+/// process satisfying the allocation_process concept.
+template <typename Factory>
+[[nodiscard]] experiment_result run_experiment(const experiment_config& config,
+                                               Factory&& factory) {
+    KD_EXPECTS(config.reps >= 1);
+    KD_EXPECTS(config.balls >= 1);
+
+    experiment_result out;
+    out.reps.reserve(config.reps);
+    for (std::uint32_t rep = 0; rep < config.reps; ++rep) {
+        auto process = factory(rng::derive_seed(config.seed, rep));
+        static_assert(allocation_process<decltype(process)>);
+        process.run_balls(config.balls);
+
+        const auto metrics = compute_load_metrics(process.loads());
+        repetition_result r;
+        r.max_load = metrics.max_load;
+        r.gap = metrics.gap;
+        r.messages = process.messages();
+        r.empty_bins = metrics.empty_bins;
+        out.reps.push_back(r);
+
+        out.max_load_values.add(r.max_load);
+        out.max_load_stats.push(static_cast<double>(r.max_load));
+        out.gap_stats.push(r.gap);
+        out.message_stats.push(static_cast<double>(r.messages));
+    }
+    return out;
+}
+
+/// Convenience: the (k,d)-choice experiment with n bins and `balls` balls
+/// (balls defaults to n when 0 is passed).
+[[nodiscard]] experiment_result
+run_kd_experiment(std::uint64_t n, std::uint64_t k, std::uint64_t d,
+                  const experiment_config& config);
+
+/// Convenience: single-choice with the same aggregation (Table 1's d = 1
+/// column).
+[[nodiscard]] experiment_result
+run_single_choice_experiment(std::uint64_t n, const experiment_config& config);
+
+/// Convenience: classic d-choice (Table 1's k = 1 row).
+[[nodiscard]] experiment_result
+run_d_choice_experiment(std::uint64_t n, std::uint64_t d,
+                        const experiment_config& config);
+
+} // namespace kdc::core

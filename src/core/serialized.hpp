@@ -1,0 +1,84 @@
+// Serialization of (k,d)-choice (Definition 1 of the paper).
+//
+// A_sigma places the k balls of every round one at a time: ball s of round r
+// lands in the sigma_r(s)-th least loaded candidate slot of the round's probe
+// multiset. For any permutation schedule sigma the *final* allocation of the
+// round is the same k least-loaded slots — that is Property (i),
+// A_sigma(k,d) == A(k,d) — but the per-ball height sequence B^{A_sigma}_x(t)
+// depends on sigma. The lower-bound analysis of the paper (Lemmas 7-10)
+// reasons about those serialized trajectories, and the test suite checks
+// Property (i) both exactly (coupled samples) and distributionally.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/round_kernel.hpp"
+#include "core/types.hpp"
+#include "rng/sampling.hpp"
+#include "rng/xoshiro256ss.hpp"
+#include "support/contracts.hpp"
+
+namespace kdc::core {
+
+/// Produces the permutation sigma_r of {0, ..., k-1} for round r. The
+/// returned vector must be a permutation of size k (checked).
+using sigma_schedule =
+    std::function<std::vector<std::uint32_t>(std::uint64_t round,
+                                             std::size_t k)>;
+
+/// sigma_r = identity: balls revealed lowest-destination first.
+[[nodiscard]] sigma_schedule identity_schedule();
+
+/// sigma_r = reversal: balls revealed highest-destination first.
+[[nodiscard]] sigma_schedule reverse_schedule();
+
+/// sigma_r drawn uniformly at random each round (seeded independently of the
+/// process's probe randomness so coupling experiments can share probes).
+[[nodiscard]] sigma_schedule random_schedule(std::uint64_t seed);
+
+/// The same fixed permutation every round.
+[[nodiscard]] sigma_schedule fixed_schedule(std::vector<std::uint32_t> sigma);
+
+class serialized_process {
+public:
+    serialized_process(std::uint64_t n, std::uint64_t k, std::uint64_t d,
+                       std::uint64_t seed, sigma_schedule schedule);
+
+    void run_round();
+    void run_round_with_samples(std::span<const std::uint32_t> samples);
+    void run_balls(std::uint64_t balls);
+
+    [[nodiscard]] const load_vector& loads() const noexcept { return loads_; }
+    [[nodiscard]] std::uint64_t balls_placed() const noexcept {
+        return balls_placed_;
+    }
+    [[nodiscard]] std::uint64_t messages() const noexcept { return messages_; }
+    [[nodiscard]] std::uint64_t n() const noexcept { return loads_.size(); }
+    [[nodiscard]] std::uint64_t k() const noexcept { return k_; }
+    [[nodiscard]] std::uint64_t d() const noexcept { return d_; }
+
+    /// Placement log in serialization order: entry t is the t-th ball placed
+    /// (1-based time in the paper; 0-based index here).
+    [[nodiscard]] const std::vector<placed_ball>& placements() const noexcept {
+        return placements_;
+    }
+
+private:
+    load_vector loads_;
+    std::uint64_t k_;
+    std::uint64_t d_;
+    std::uint64_t balls_placed_ = 0;
+    std::uint64_t rounds_run_ = 0;
+    std::uint64_t messages_ = 0;
+    sigma_schedule schedule_;
+    std::vector<placed_ball> placements_;
+    std::vector<placed_ball> round_slots_;
+    std::vector<std::uint32_t> sample_buffer_;
+    round_scratch scratch_;
+    rng::xoshiro256ss gen_;
+};
+
+} // namespace kdc::core

@@ -1,0 +1,54 @@
+// The SA_{x0} process of Definition 3: every ball picks a bin i.u.r.; if the
+// chosen bin is currently the x-th most loaded with x <= x0, the ball is
+// *discarded*, otherwise it is placed. The paper uses SA_{x0} (with
+// x0 = gamma*) to lower-bound the load of bin gamma* under (k,d)-choice
+// (Lemmas 8-10, Corollary 3).
+//
+// Ranks follow Section 2.1: bins sorted by decreasing load, ties broken
+// randomly. For a bin with load L that means rank = (#bins with load > L) +
+// uniform{1..#bins with load == L}. Both counts come from a Fenwick tree
+// indexed by load value, so each ball costs O(log maxload).
+#pragma once
+
+#include <cstdint>
+
+#include "core/fenwick.hpp"
+#include "core/types.hpp"
+#include "rng/xoshiro256ss.hpp"
+#include "support/contracts.hpp"
+
+namespace kdc::core {
+
+class sa_threshold_process {
+public:
+    /// x0 in [0, n]: x0 = 0 never discards (plain single-choice).
+    sa_threshold_process(std::uint64_t n, std::uint64_t x0, std::uint64_t seed);
+
+    /// Offers `balls` balls to the process; each is placed or discarded.
+    void run_balls(std::uint64_t balls);
+
+    [[nodiscard]] const load_vector& loads() const noexcept { return loads_; }
+    /// Balls actually placed (Definition 3 discards the rest).
+    [[nodiscard]] std::uint64_t balls_placed() const noexcept {
+        return balls_placed_;
+    }
+    /// Balls offered so far (placed + discarded).
+    [[nodiscard]] std::uint64_t balls_offered() const noexcept {
+        return balls_offered_;
+    }
+    [[nodiscard]] std::uint64_t messages() const noexcept {
+        return balls_offered_; // one probe per offered ball
+    }
+    [[nodiscard]] std::uint64_t n() const noexcept { return loads_.size(); }
+    [[nodiscard]] std::uint64_t x0() const noexcept { return x0_; }
+
+private:
+    load_vector loads_;
+    std::uint64_t x0_;
+    std::uint64_t balls_placed_ = 0;
+    std::uint64_t balls_offered_ = 0;
+    fenwick_tree bins_at_load_; // index = load value, count = #bins
+    rng::xoshiro256ss gen_;
+};
+
+} // namespace kdc::core

@@ -1,0 +1,25 @@
+// Shared vocabulary types for the allocation processes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace kdc::core {
+
+/// Load of a single bin. 32 bits supports the heavily loaded regime up to
+/// ~4e9 balls per bin, far beyond anything this repository simulates.
+using bin_load = std::uint32_t;
+
+/// Bin loads indexed by bin id (NOT sorted; sorting is a metrics concern).
+using load_vector = std::vector<bin_load>;
+
+/// A ball placement: the bin it landed in, and its height (the number of
+/// balls in that bin immediately after it landed — Section 2 of the paper).
+struct placed_ball {
+    std::uint32_t bin = 0;
+    bin_load height = 0;
+
+    friend bool operator==(const placed_ball&, const placed_ball&) = default;
+};
+
+} // namespace kdc::core

@@ -1,0 +1,52 @@
+// PCG32 (PCG-XSH-RR 64/32, O'Neill 2014; reference: pcg_basic.c, Apache-2.0).
+//
+// Included as a second independent generator family: the statistical test
+// suite cross-checks xoshiro-driven experiments against PCG-driven ones, so a
+// generator artifact can never masquerade as an allocation-process effect.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace kdc::rng {
+
+class pcg32 {
+public:
+    using result_type = std::uint32_t;
+
+    /// Seeds with an initial state and a stream selector, matching
+    /// pcg32_srandom_r from the reference implementation.
+    constexpr pcg32(std::uint64_t initstate, std::uint64_t initseq) noexcept {
+        state_ = 0;
+        inc_ = (initseq << 1) | 1u;
+        (void)(*this)();
+        state_ += initstate;
+        (void)(*this)();
+    }
+
+    constexpr explicit pcg32(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept
+        : pcg32(seed, 0xda3e39cb94b95bdbULL) {}
+
+    [[nodiscard]] static constexpr result_type min() noexcept { return 0; }
+    [[nodiscard]] static constexpr result_type max() noexcept {
+        return std::numeric_limits<result_type>::max();
+    }
+
+    constexpr result_type operator()() noexcept {
+        const std::uint64_t oldstate = state_;
+        state_ = oldstate * 6364136223846793005ULL + inc_;
+        const auto xorshifted =
+            static_cast<std::uint32_t>(((oldstate >> 18) ^ oldstate) >> 27);
+        const auto rot = static_cast<std::uint32_t>(oldstate >> 59);
+        return (xorshifted >> rot) | (xorshifted << ((32 - rot) & 31));
+    }
+
+    friend constexpr bool operator==(const pcg32&, const pcg32&) noexcept =
+        default;
+
+private:
+    std::uint64_t state_ = 0;
+    std::uint64_t inc_ = 0;
+};
+
+} // namespace kdc::rng

@@ -1,0 +1,77 @@
+// Sampling utilities built on the unbiased bounded-uniform primitive:
+// with-replacement bin sampling (the (k,d)-choice probe step), Floyd's
+// without-replacement sampling, Fisher-Yates shuffling and random
+// permutations (used by the serialized process of Definition 1).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rng/uniform.hpp"
+#include "support/contracts.hpp"
+
+namespace kdc::rng {
+
+/// Fills `out` with indices drawn i.u.r. *with replacement* from [0, n).
+/// This is exactly the probe step of the (k,d)-choice process.
+template <typename G>
+    requires std::uniform_random_bit_generator<G>
+void sample_with_replacement(G& gen, std::uint64_t n,
+                             std::span<std::uint32_t> out) {
+    KD_EXPECTS(n >= 1);
+    for (auto& slot : out) {
+        slot = static_cast<std::uint32_t>(uniform_below(gen, n));
+    }
+}
+
+/// In-place Fisher-Yates shuffle.
+template <typename G, typename T>
+    requires std::uniform_random_bit_generator<G>
+void shuffle(G& gen, std::span<T> items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+        const auto j = static_cast<std::size_t>(uniform_below(gen, i));
+        std::swap(items[i - 1], items[j]);
+    }
+}
+
+/// Returns `count` distinct indices from [0, n) via Robert Floyd's algorithm
+/// (O(count) expected work, no O(n) scratch). Output order is randomized.
+template <typename G>
+    requires std::uniform_random_bit_generator<G>
+[[nodiscard]] std::vector<std::uint32_t>
+sample_without_replacement(G& gen, std::uint64_t n, std::uint64_t count) {
+    KD_EXPECTS(count <= n);
+    std::vector<std::uint32_t> chosen;
+    chosen.reserve(count);
+    for (std::uint64_t j = n - count; j < n; ++j) {
+        const auto candidate =
+            static_cast<std::uint32_t>(uniform_below(gen, j + 1));
+        if (std::find(chosen.begin(), chosen.end(), candidate) ==
+            chosen.end()) {
+            chosen.push_back(candidate);
+        } else {
+            chosen.push_back(static_cast<std::uint32_t>(j));
+        }
+    }
+    // Floyd's algorithm biases the *order* (later slots tend to hold larger
+    // values); shuffle so callers may treat the output as a random sequence.
+    shuffle(gen, std::span<std::uint32_t>(chosen));
+    return chosen;
+}
+
+/// Returns a uniformly random permutation of {0, 1, ..., n-1}.
+template <typename G>
+    requires std::uniform_random_bit_generator<G>
+[[nodiscard]] std::vector<std::uint32_t> random_permutation(G& gen,
+                                                            std::uint32_t n) {
+    std::vector<std::uint32_t> perm(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        perm[i] = i;
+    }
+    shuffle(gen, std::span<std::uint32_t>(perm));
+    return perm;
+}
+
+} // namespace kdc::rng

@@ -1,0 +1,64 @@
+// SplitMix64 (Steele, Lea, Flood 2014; public-domain reference by Vigna).
+//
+// Used here for two jobs the xoshiro authors recommend it for:
+//   1. expanding a single 64-bit seed into larger generator state, and
+//   2. deriving independent per-repetition / per-stream seeds, so every
+//      experiment in this repo is reproducible from one master seed.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace kdc::rng {
+
+/// Advances a SplitMix64 state and returns the next output. Exposed as a free
+/// function so seeding code can use it without constructing a generator.
+[[nodiscard]] constexpr std::uint64_t splitmix64_next(std::uint64_t& state) noexcept {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/// SplitMix64 as a UniformRandomBitGenerator.
+class splitmix64 {
+public:
+    using result_type = std::uint64_t;
+
+    constexpr explicit splitmix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+    [[nodiscard]] static constexpr result_type min() noexcept { return 0; }
+    [[nodiscard]] static constexpr result_type max() noexcept {
+        return std::numeric_limits<result_type>::max();
+    }
+
+    constexpr result_type operator()() noexcept {
+        return splitmix64_next(state_);
+    }
+
+    /// Current internal state (useful for checkpointing experiments).
+    [[nodiscard]] constexpr std::uint64_t state() const noexcept {
+        return state_;
+    }
+
+    friend constexpr bool operator==(const splitmix64&,
+                                     const splitmix64&) noexcept = default;
+
+private:
+    std::uint64_t state_;
+};
+
+/// Derives the `stream`-th child seed from a master seed. Children are
+/// decorrelated by running SplitMix64 from a state offset by the stream id
+/// mixed with a large odd constant, so (master, 0), (master, 1), ... give
+/// independent-looking sequences even for adjacent masters.
+[[nodiscard]] constexpr std::uint64_t derive_seed(std::uint64_t master,
+                                                  std::uint64_t stream) noexcept {
+    std::uint64_t state = master;
+    const std::uint64_t a = splitmix64_next(state);
+    state ^= (stream + 1) * 0xda942042e4dd58b5ULL;
+    const std::uint64_t b = splitmix64_next(state);
+    return a ^ (b + 0x9e3779b97f4a7c15ULL);
+}
+
+} // namespace kdc::rng

@@ -1,0 +1,97 @@
+// Unbiased bounded uniform integers (Lemire 2019, "Fast Random Integer
+// Generation in an Interval") and uniform doubles in [0,1).
+//
+// Sampling `d` bins i.u.r. is the single hottest operation in every
+// balls-into-bins experiment; these routines avoid both modulo bias and the
+// division in the common rejection loop (division only happens on the rare
+// rejection path).
+#pragma once
+
+#include <cmath>
+#include <concepts>
+#include <cstdint>
+#include <random>
+
+#include "support/contracts.hpp"
+
+namespace kdc::rng {
+
+/// Concept for a generator producing full-width 64-bit outputs.
+template <typename G>
+concept bit_generator_64 = std::uniform_random_bit_generator<G> &&
+                           std::same_as<typename G::result_type, std::uint64_t>;
+
+/// Returns an integer uniform in [0, bound) without modulo bias.
+/// Requires bound >= 1.
+template <typename G>
+    requires std::uniform_random_bit_generator<G>
+[[nodiscard]] std::uint64_t uniform_below(G& gen, std::uint64_t bound) {
+    KD_EXPECTS(bound >= 1);
+    // GCC/Clang extension; the pragma scopes the -Wpedantic exemption to this
+    // one alias (the 64x64->128 multiply is the core of Lemire's method).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wpedantic"
+    using u128 = unsigned __int128;
+#pragma GCC diagnostic pop
+    std::uint64_t x = static_cast<std::uint64_t>(gen());
+    if constexpr (sizeof(typename G::result_type) == 4) {
+        // Widen 32-bit generators to 64 bits so one code path serves both.
+        x = (x << 32) | static_cast<std::uint64_t>(gen());
+    }
+    u128 m = static_cast<u128>(x) * static_cast<u128>(bound);
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+        const std::uint64_t threshold = (0 - bound) % bound;
+        while (lo < threshold) {
+            x = static_cast<std::uint64_t>(gen());
+            if constexpr (sizeof(typename G::result_type) == 4) {
+                x = (x << 32) | static_cast<std::uint64_t>(gen());
+            }
+            m = static_cast<u128>(x) * static_cast<u128>(bound);
+            lo = static_cast<std::uint64_t>(m);
+        }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+/// Returns an integer uniform in [lo, hi] (inclusive). Requires lo <= hi.
+template <typename G>
+    requires std::uniform_random_bit_generator<G>
+[[nodiscard]] std::int64_t uniform_between(G& gen, std::int64_t lo,
+                                           std::int64_t hi) {
+    KD_EXPECTS(lo <= hi);
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    // span == 0 means the full 64-bit range [INT64_MIN, INT64_MAX].
+    if (span == 0) {
+        return static_cast<std::int64_t>(gen());
+    }
+    return lo + static_cast<std::int64_t>(uniform_below(gen, span));
+}
+
+/// Returns a double uniform in [0, 1) with 53 random mantissa bits.
+template <bit_generator_64 G>
+[[nodiscard]] double uniform_double(G& gen) {
+    return static_cast<double>(gen() >> 11) * 0x1.0p-53;
+}
+
+/// Returns true with probability p (p clamped to [0,1]).
+template <bit_generator_64 G>
+[[nodiscard]] bool bernoulli(G& gen, double p) {
+    if (p <= 0.0) {
+        return false;
+    }
+    if (p >= 1.0) {
+        return true;
+    }
+    return uniform_double(gen) < p;
+}
+
+/// Samples an exponential random variable with the given mean.
+template <bit_generator_64 G>
+[[nodiscard]] double exponential(G& gen, double mean) {
+    KD_EXPECTS(mean > 0.0);
+    // 1 - U is in (0, 1], so the log is finite.
+    return -mean * std::log(1.0 - uniform_double(gen));
+}
+
+} // namespace kdc::rng

@@ -1,0 +1,102 @@
+// xoshiro256** 1.0 (Blackman & Vigna, 2018; public-domain reference
+// implementation at https://prng.di.unimi.it/xoshiro256starstar.c).
+//
+// This is the workhorse generator for every simulation in the repository:
+// 256 bits of state, period 2^256-1, passes BigCrush, and ~1ns per draw.
+// `jump()`/`long_jump()` advance by 2^128 / 2^192 steps for building
+// non-overlapping parallel streams.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+#include "rng/splitmix64.hpp"
+
+namespace kdc::rng {
+
+class xoshiro256ss {
+public:
+    using result_type = std::uint64_t;
+
+    /// Seeds the 256-bit state by running SplitMix64 from `seed`, as
+    /// recommended by the xoshiro authors (never seeds the all-zero state).
+    constexpr explicit xoshiro256ss(std::uint64_t seed = 0) noexcept {
+        std::uint64_t sm = seed;
+        for (auto& word : state_) {
+            word = splitmix64_next(sm);
+        }
+    }
+
+    /// Constructs from explicit state words. The state must not be all zero.
+    constexpr explicit xoshiro256ss(
+        const std::array<std::uint64_t, 4>& state) noexcept
+        : state_(state) {}
+
+    [[nodiscard]] static constexpr result_type min() noexcept { return 0; }
+    [[nodiscard]] static constexpr result_type max() noexcept {
+        return std::numeric_limits<result_type>::max();
+    }
+
+    constexpr result_type operator()() noexcept {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+
+        return result;
+    }
+
+    /// Advances the state by 2^128 steps: up to 2^128 subsequences that never
+    /// overlap, for parallel repetitions.
+    constexpr void jump() noexcept {
+        apply_jump({0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL,
+                    0xa9582618e03fc9aaULL, 0x39abdc4529b1661cULL});
+    }
+
+    /// Advances the state by 2^192 steps, for distributing work across
+    /// machines (2^64 starting points, each with 2^64 jump() streams).
+    constexpr void long_jump() noexcept {
+        apply_jump({0x76e15d3efefdcbbfULL, 0xc5004e441c522fb3ULL,
+                    0x77710069854ee241ULL, 0x39109bb02acbe635ULL});
+    }
+
+    [[nodiscard]] constexpr const std::array<std::uint64_t, 4>&
+    state() const noexcept {
+        return state_;
+    }
+
+    friend constexpr bool operator==(const xoshiro256ss&,
+                                     const xoshiro256ss&) noexcept = default;
+
+private:
+    std::array<std::uint64_t, 4> state_{};
+
+    [[nodiscard]] static constexpr std::uint64_t rotl(std::uint64_t x,
+                                                      int k) noexcept {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    constexpr void apply_jump(
+        const std::array<std::uint64_t, 4>& table) noexcept {
+        std::array<std::uint64_t, 4> acc{};
+        for (const std::uint64_t word : table) {
+            for (int bit = 0; bit < 64; ++bit) {
+                if ((word & (std::uint64_t{1} << bit)) != 0) {
+                    for (std::size_t i = 0; i < acc.size(); ++i) {
+                        acc[i] ^= state_[i];
+                    }
+                }
+                (void)(*this)();
+            }
+        }
+        state_ = acc;
+    }
+};
+
+} // namespace kdc::rng

@@ -1,0 +1,23 @@
+#include "stats/histogram.hpp"
+
+#include <sstream>
+
+namespace kdc::stats {
+
+std::string integer_histogram::support_string() const {
+    std::ostringstream out;
+    bool first = true;
+    for (std::uint64_t v = 0; v < counts_.size(); ++v) {
+        if (counts_[v] == 0) {
+            continue;
+        }
+        if (!first) {
+            out << ", ";
+        }
+        first = false;
+        out << v;
+    }
+    return out.str();
+}
+
+} // namespace kdc::stats

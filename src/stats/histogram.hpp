@@ -1,0 +1,118 @@
+// Dense histogram over small non-negative integers. Bin loads, ball heights
+// and max-load observations all live in a tiny integer range, so a vector
+// indexed by value is both the fastest and the most precise representation.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/contracts.hpp"
+
+namespace kdc::stats {
+
+class integer_histogram {
+public:
+    /// Adds `weight` observations of `value`.
+    void add(std::uint64_t value, std::uint64_t weight = 1) {
+        if (value >= counts_.size()) {
+            counts_.resize(value + 1, 0);
+        }
+        counts_[value] += weight;
+        total_ += weight;
+    }
+
+    /// Count of observations equal to `value` (0 if never seen).
+    [[nodiscard]] std::uint64_t count(std::uint64_t value) const noexcept {
+        return value < counts_.size() ? counts_[value] : 0;
+    }
+
+    /// Count of observations >= `value` (the paper's nu_y when applied to
+    /// bin loads).
+    [[nodiscard]] std::uint64_t count_at_least(std::uint64_t value) const noexcept {
+        std::uint64_t sum = 0;
+        for (std::uint64_t v = value; v < counts_.size(); ++v) {
+            sum += counts_[v];
+        }
+        return sum;
+    }
+
+    [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+    /// Largest observed value. Requires a non-empty histogram.
+    [[nodiscard]] std::uint64_t max_value() const {
+        KD_EXPECTS(total_ > 0);
+        for (std::uint64_t v = counts_.size(); v-- > 0;) {
+            if (counts_[v] > 0) {
+                return v;
+            }
+        }
+        KD_ASSERT_MSG(false, "non-empty histogram without a max");
+        return 0;
+    }
+
+    /// Smallest observed value. Requires a non-empty histogram.
+    [[nodiscard]] std::uint64_t min_value() const {
+        KD_EXPECTS(total_ > 0);
+        for (std::uint64_t v = 0; v < counts_.size(); ++v) {
+            if (counts_[v] > 0) {
+                return v;
+            }
+        }
+        KD_ASSERT_MSG(false, "non-empty histogram without a min");
+        return 0;
+    }
+
+    [[nodiscard]] double mean() const {
+        KD_EXPECTS(total_ > 0);
+        double sum = 0.0;
+        for (std::uint64_t v = 0; v < counts_.size(); ++v) {
+            sum += static_cast<double>(v) * static_cast<double>(counts_[v]);
+        }
+        return sum / static_cast<double>(total_);
+    }
+
+    /// Nearest-rank quantile: the value at rank max(1, ceil(p * total)).
+    [[nodiscard]] std::uint64_t quantile(double p) const {
+        KD_EXPECTS(total_ > 0);
+        KD_EXPECTS(p >= 0.0 && p <= 1.0);
+        const auto rank = std::max<std::uint64_t>(
+            1, static_cast<std::uint64_t>(
+                   std::ceil(p * static_cast<double>(total_))));
+        std::uint64_t cumulative = 0;
+        for (std::uint64_t v = 0; v < counts_.size(); ++v) {
+            cumulative += counts_[v];
+            if (cumulative >= rank) {
+                return v;
+            }
+        }
+        return max_value();
+    }
+
+    void merge(const integer_histogram& other) {
+        if (other.counts_.size() > counts_.size()) {
+            counts_.resize(other.counts_.size(), 0);
+        }
+        for (std::uint64_t v = 0; v < other.counts_.size(); ++v) {
+            counts_[v] += other.counts_[v];
+        }
+        total_ += other.total_;
+    }
+
+    /// Distinct observed values in increasing order, as "a, b, c" — the
+    /// format of the cells in Table 1 of the paper ("7, 8, 9" etc.).
+    [[nodiscard]] std::string support_string() const;
+
+    /// Raw counts, indexed by value.
+    [[nodiscard]] const std::vector<std::uint64_t>& counts() const noexcept {
+        return counts_;
+    }
+
+private:
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace kdc::stats

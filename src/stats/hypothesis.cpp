@@ -1,0 +1,116 @@
+#include "stats/hypothesis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/special_functions.hpp"
+#include "support/contracts.hpp"
+
+namespace kdc::stats {
+
+chi_square_result chi_square_gof(std::span<const std::uint64_t> observed,
+                                 std::span<const double> expected_probs) {
+    KD_EXPECTS(observed.size() == expected_probs.size());
+    KD_EXPECTS(observed.size() >= 2);
+
+    std::uint64_t total = 0;
+    for (const auto count : observed) {
+        total += count;
+    }
+    KD_EXPECTS_MSG(total > 0, "chi-square needs at least one observation");
+
+    // Pool adjacent categories until every pooled cell expects >= 5.
+    std::vector<double> pooled_expected;
+    std::vector<double> pooled_observed;
+    double expected_acc = 0.0;
+    double observed_acc = 0.0;
+    for (std::size_t i = 0; i < observed.size(); ++i) {
+        expected_acc += expected_probs[i] * static_cast<double>(total);
+        observed_acc += static_cast<double>(observed[i]);
+        if (expected_acc >= 5.0) {
+            pooled_expected.push_back(expected_acc);
+            pooled_observed.push_back(observed_acc);
+            expected_acc = 0.0;
+            observed_acc = 0.0;
+        }
+    }
+    if (expected_acc > 0.0 || observed_acc > 0.0) {
+        if (pooled_expected.empty()) {
+            pooled_expected.push_back(expected_acc);
+            pooled_observed.push_back(observed_acc);
+        } else {
+            pooled_expected.back() += expected_acc;
+            pooled_observed.back() += observed_acc;
+        }
+    }
+
+    chi_square_result result;
+    if (pooled_expected.size() < 2) {
+        return result; // degenerate: everything pooled into one cell
+    }
+    for (std::size_t i = 0; i < pooled_expected.size(); ++i) {
+        const double diff = pooled_observed[i] - pooled_expected[i];
+        result.statistic += diff * diff / pooled_expected[i];
+    }
+    result.dof = static_cast<double>(pooled_expected.size() - 1);
+    result.p_value = 1.0 - chi_square_cdf(result.statistic, result.dof);
+    return result;
+}
+
+chi_square_result chi_square_uniform(std::span<const std::uint64_t> observed) {
+    const std::vector<double> uniform(
+        observed.size(), 1.0 / static_cast<double>(observed.size()));
+    return chi_square_gof(observed, uniform);
+}
+
+ks_result ks_two_sample(std::vector<double> a, std::vector<double> b) {
+    KD_EXPECTS(!a.empty() && !b.empty());
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+
+    const double na = static_cast<double>(a.size());
+    const double nb = static_cast<double>(b.size());
+    std::size_t ia = 0;
+    std::size_t ib = 0;
+    double d_max = 0.0;
+    while (ia < a.size() && ib < b.size()) {
+        const double x = std::min(a[ia], b[ib]);
+        while (ia < a.size() && a[ia] <= x) {
+            ++ia;
+        }
+        while (ib < b.size() && b[ib] <= x) {
+            ++ib;
+        }
+        const double fa = static_cast<double>(ia) / na;
+        const double fb = static_cast<double>(ib) / nb;
+        d_max = std::max(d_max, std::abs(fa - fb));
+    }
+
+    ks_result result;
+    result.statistic = d_max;
+    const double ne = na * nb / (na + nb);
+    const double sqrt_ne = std::sqrt(ne);
+    // Finite-sample correction from Stephens (1970).
+    const double lambda = (sqrt_ne + 0.12 + 0.11 / sqrt_ne) * d_max;
+    result.p_value = kolmogorov_q(lambda);
+    return result;
+}
+
+double dominance_probability(std::span<const double> a,
+                             std::span<const double> b) {
+    KD_EXPECTS(!a.empty() && !b.empty());
+    std::vector<double> sorted_b(b.begin(), b.end());
+    std::sort(sorted_b.begin(), sorted_b.end());
+    double score = 0.0;
+    for (const double x : a) {
+        const auto lower = std::lower_bound(sorted_b.begin(), sorted_b.end(), x);
+        const auto upper = std::upper_bound(lower, sorted_b.end(), x);
+        const auto less = static_cast<double>(lower - sorted_b.begin());
+        const auto equal = static_cast<double>(upper - lower);
+        score += less + 0.5 * equal;
+    }
+    return score /
+           (static_cast<double>(a.size()) * static_cast<double>(b.size()));
+}
+
+} // namespace kdc::stats

@@ -1,0 +1,50 @@
+// Hypothesis tests used by the test suite and the reproduction harnesses:
+//  * chi-square goodness-of-fit — validates the RNG layer and uniform bin
+//    sampling;
+//  * two-sample Kolmogorov-Smirnov — checks distributional equivalence, e.g.
+//    Property (i) of the paper (serialization A_sigma == A(k,d)) and the
+//    cross-generator consistency checks;
+//  * one-sided Mann-Whitney-style dominance score — quantifies the empirical
+//    majorization chain (Properties (ii)-(v)).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace kdc::stats {
+
+struct chi_square_result {
+    double statistic = 0.0;
+    double dof = 0.0;
+    double p_value = 1.0;
+};
+
+/// Chi-square goodness-of-fit of observed counts against expected
+/// probabilities. `expected_probs` must sum to ~1 and have the same size as
+/// `observed`. Categories with expected count < 5 are pooled into their
+/// neighbor to keep the asymptotics honest.
+[[nodiscard]] chi_square_result
+chi_square_gof(std::span<const std::uint64_t> observed,
+               std::span<const double> expected_probs);
+
+/// Convenience: chi-square test that `observed` counts are uniform.
+[[nodiscard]] chi_square_result
+chi_square_uniform(std::span<const std::uint64_t> observed);
+
+struct ks_result {
+    double statistic = 0.0; ///< sup-norm distance between the two ECDFs
+    double p_value = 1.0;   ///< asymptotic (conservative for tiny samples)
+};
+
+/// Two-sample Kolmogorov-Smirnov test. Sorts copies of both samples.
+[[nodiscard]] ks_result ks_two_sample(std::vector<double> a,
+                                      std::vector<double> b);
+
+/// Empirical P(A > B) + 0.5 * P(A == B) over all pairs: 0.5 means no
+/// stochastic ordering; > 0.5 means samples from `a` tend to be larger.
+/// This is the common-language effect size of the Mann-Whitney U test.
+[[nodiscard]] double dominance_probability(std::span<const double> a,
+                                           std::span<const double> b);
+
+} // namespace kdc::stats

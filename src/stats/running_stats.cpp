@@ -1,0 +1,14 @@
+#include "stats/running_stats.hpp"
+
+#include <cmath>
+
+namespace kdc::stats {
+
+double running_stats::stddev() const { return std::sqrt(variance()); }
+
+double running_stats::mean_ci_halfwidth(double z) const {
+    KD_EXPECTS(z > 0.0);
+    return z * stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+} // namespace kdc::stats

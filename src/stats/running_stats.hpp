@@ -1,0 +1,96 @@
+// Streaming moments via Welford's algorithm: numerically stable mean and
+// variance in one pass, plus min/max. Used to aggregate per-repetition
+// metrics (max load, gap, response time, ...) without storing every sample.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "support/contracts.hpp"
+
+namespace kdc::stats {
+
+class running_stats {
+public:
+    void push(double x) noexcept {
+        ++count_;
+        const double delta = x - mean_;
+        mean_ += delta / static_cast<double>(count_);
+        const double delta2 = x - mean_;
+        m2_ += delta * delta2;
+        if (x < min_) {
+            min_ = x;
+        }
+        if (x > max_) {
+            max_ = x;
+        }
+    }
+
+    /// Merges another accumulator (parallel aggregation; Chan et al.).
+    void merge(const running_stats& other) noexcept {
+        if (other.count_ == 0) {
+            return;
+        }
+        if (count_ == 0) {
+            *this = other;
+            return;
+        }
+        const double total =
+            static_cast<double>(count_) + static_cast<double>(other.count_);
+        const double delta = other.mean_ - mean_;
+        m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                               static_cast<double>(other.count_) / total;
+        mean_ += delta * static_cast<double>(other.count_) / total;
+        count_ += other.count_;
+        if (other.min_ < min_) {
+            min_ = other.min_;
+        }
+        if (other.max_ > max_) {
+            max_ = other.max_;
+        }
+    }
+
+    [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+
+    [[nodiscard]] double mean() const {
+        KD_EXPECTS(count_ > 0);
+        return mean_;
+    }
+
+    /// Unbiased sample variance (n-1 denominator). Requires >= 2 samples.
+    [[nodiscard]] double variance() const {
+        KD_EXPECTS(count_ >= 2);
+        return m2_ / static_cast<double>(count_ - 1);
+    }
+
+    /// Population variance (n denominator). Requires >= 1 sample.
+    [[nodiscard]] double population_variance() const {
+        KD_EXPECTS(count_ >= 1);
+        return m2_ / static_cast<double>(count_);
+    }
+
+    [[nodiscard]] double stddev() const;
+
+    [[nodiscard]] double min() const {
+        KD_EXPECTS(count_ > 0);
+        return min_;
+    }
+
+    [[nodiscard]] double max() const {
+        KD_EXPECTS(count_ > 0);
+        return max_;
+    }
+
+    /// Half-width of the normal-approximation confidence interval for the
+    /// mean at the given z value (1.96 ~ 95%). Requires >= 2 samples.
+    [[nodiscard]] double mean_ci_halfwidth(double z = 1.96) const;
+
+private:
+    std::uint64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+} // namespace kdc::stats

@@ -1,0 +1,124 @@
+#include "stats/special_functions.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "support/contracts.hpp"
+
+namespace kdc::stats {
+
+namespace {
+
+constexpr int max_iterations = 500;
+constexpr double epsilon = 1e-14;
+
+/// P(a,x) by the power series gamma(a,x) = x^a e^-x sum x^n / (a)_{n+1}.
+double gamma_p_series(double a, double x) {
+    double term = 1.0 / a;
+    double sum = term;
+    double ap = a;
+    for (int i = 0; i < max_iterations; ++i) {
+        ap += 1.0;
+        term *= x / ap;
+        sum += term;
+        if (std::abs(term) < std::abs(sum) * epsilon) {
+            break;
+        }
+    }
+    return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+/// Q(a,x) by the Lentz continued fraction for the upper incomplete gamma.
+double gamma_q_continued_fraction(double a, double x) {
+    constexpr double tiny = 1e-300;
+    double b = x + 1.0 - a;
+    double c = 1.0 / tiny;
+    double d = 1.0 / b;
+    double h = d;
+    for (int i = 1; i <= max_iterations; ++i) {
+        const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+        b += 2.0;
+        d = an * d + b;
+        if (std::abs(d) < tiny) {
+            d = tiny;
+        }
+        c = b + an / c;
+        if (std::abs(c) < tiny) {
+            c = tiny;
+        }
+        d = 1.0 / d;
+        const double delta = d * c;
+        h *= delta;
+        if (std::abs(delta - 1.0) < epsilon) {
+            break;
+        }
+    }
+    return std::exp(-x + a * std::log(x) - std::lgamma(a)) * h;
+}
+
+} // namespace
+
+double regularized_gamma_p(double a, double x) {
+    KD_EXPECTS(a > 0.0);
+    KD_EXPECTS(x >= 0.0);
+    if (x == 0.0) {
+        return 0.0;
+    }
+    if (x < a + 1.0) {
+        return gamma_p_series(a, x);
+    }
+    return 1.0 - gamma_q_continued_fraction(a, x);
+}
+
+double regularized_gamma_q(double a, double x) {
+    return 1.0 - regularized_gamma_p(a, x);
+}
+
+double chi_square_cdf(double x, double dof) {
+    KD_EXPECTS(dof > 0.0);
+    if (x <= 0.0) {
+        return 0.0;
+    }
+    return regularized_gamma_p(dof / 2.0, x / 2.0);
+}
+
+double kolmogorov_q(double lambda) {
+    if (lambda <= 0.0) {
+        return 1.0;
+    }
+    double sum = 0.0;
+    double sign = 1.0;
+    for (int j = 1; j <= 200; ++j) {
+        const double term =
+            std::exp(-2.0 * static_cast<double>(j) * static_cast<double>(j) *
+                     lambda * lambda);
+        sum += sign * term;
+        sign = -sign;
+        if (term < 1e-16) {
+            break;
+        }
+    }
+    const double q = 2.0 * sum;
+    if (q < 0.0) {
+        return 0.0;
+    }
+    if (q > 1.0) {
+        return 1.0;
+    }
+    return q;
+}
+
+double log_factorial(std::uint64_t n) {
+    return std::lgamma(static_cast<double>(n) + 1.0);
+}
+
+std::uint64_t smallest_factorial_exceeding_log(double log_bound) {
+    std::uint64_t y = 0;
+    while (log_factorial(y) <= log_bound) {
+        ++y;
+        KD_ASSERT_MSG(y < 1'000'000, "factorial inversion runaway");
+    }
+    return y;
+}
+
+} // namespace kdc::stats

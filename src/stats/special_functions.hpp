@@ -1,0 +1,33 @@
+// Special functions needed by the hypothesis tests and the theory oracle:
+// regularized incomplete gamma (for chi-square p-values), the Kolmogorov
+// distribution tail, and log-factorial helpers (for Stirling inversions of
+// the paper's y! <= 48*dk bound).
+#pragma once
+
+#include <cstdint>
+
+namespace kdc::stats {
+
+/// Regularized lower incomplete gamma P(a, x) = gamma(a,x)/Gamma(a),
+/// a > 0, x >= 0. Series expansion for x < a+1, continued fraction otherwise
+/// (Numerical Recipes construction, re-derived here).
+[[nodiscard]] double regularized_gamma_p(double a, double x);
+
+/// Upper tail Q(a, x) = 1 - P(a, x).
+[[nodiscard]] double regularized_gamma_q(double a, double x);
+
+/// CDF of the chi-square distribution with `dof` degrees of freedom.
+[[nodiscard]] double chi_square_cdf(double x, double dof);
+
+/// Kolmogorov-Smirnov tail function Q_KS(lambda) = 2 sum_{j>=1} (-1)^{j-1}
+/// exp(-2 j^2 lambda^2); the asymptotic p-value of the KS statistic.
+[[nodiscard]] double kolmogorov_q(double lambda);
+
+/// ln(n!) computed via lgamma.
+[[nodiscard]] double log_factorial(std::uint64_t n);
+
+/// Smallest y >= 0 such that y! > bound (bound given as ln(bound)).
+/// This inverts the paper's factorial inequalities, e.g. (11): y1! <= 48*dk.
+[[nodiscard]] std::uint64_t smallest_factorial_exceeding_log(double log_bound);
+
+} // namespace kdc::stats

@@ -1,0 +1,44 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/running_stats.hpp"
+#include "support/contracts.hpp"
+
+namespace kdc::stats {
+
+double sorted_quantile(const std::vector<double>& sorted, double p) {
+    KD_EXPECTS(!sorted.empty());
+    KD_EXPECTS(p >= 0.0 && p <= 1.0);
+    KD_EXPECTS(std::is_sorted(sorted.begin(), sorted.end()));
+    if (p <= 0.0) {
+        return sorted.front();
+    }
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(p * static_cast<double>(sorted.size())));
+    return sorted[std::min(rank == 0 ? 0 : rank - 1, sorted.size() - 1)];
+}
+
+sample_summary summarize(std::vector<double> sample) {
+    KD_EXPECTS(!sample.empty());
+    std::sort(sample.begin(), sample.end());
+
+    running_stats acc;
+    for (const double x : sample) {
+        acc.push(x);
+    }
+
+    sample_summary out;
+    out.count = sample.size();
+    out.mean = acc.mean();
+    out.stddev = sample.size() >= 2 ? acc.stddev() : 0.0;
+    out.min = sample.front();
+    out.median = sorted_quantile(sample, 0.5);
+    out.p95 = sorted_quantile(sample, 0.95);
+    out.p99 = sorted_quantile(sample, 0.99);
+    out.max = sample.back();
+    return out;
+}
+
+} // namespace kdc::stats

@@ -1,0 +1,29 @@
+// One-shot descriptive summary of a sample: moments plus order statistics.
+// Benchmark harnesses print these rows for every (k,d) configuration.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace kdc::stats {
+
+struct sample_summary {
+    std::size_t count = 0;
+    double mean = 0.0;
+    double stddev = 0.0; ///< 0 when count < 2
+    double min = 0.0;
+    double median = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    double max = 0.0;
+};
+
+/// Computes the summary (copies + sorts the sample). Requires non-empty.
+[[nodiscard]] sample_summary summarize(std::vector<double> sample);
+
+/// Nearest-rank quantile of a *sorted* sample, p in [0,1].
+[[nodiscard]] double sorted_quantile(const std::vector<double>& sorted,
+                                     double p);
+
+} // namespace kdc::stats

@@ -1,0 +1,108 @@
+#include "support/cli.hpp"
+
+#include <charconv>
+#include <iostream>
+#include <sstream>
+
+#include "support/contracts.hpp"
+
+namespace kdc {
+
+void arg_parser::add_option(std::string name, std::string default_value,
+                            std::string help) {
+    KD_EXPECTS(!name.empty());
+    specs_[std::move(name)] =
+        option_spec{std::move(default_value), std::move(help), false};
+}
+
+void arg_parser::add_flag(std::string name, std::string help) {
+    KD_EXPECTS(!name.empty());
+    specs_[std::move(name)] = option_spec{"false", std::move(help), true};
+}
+
+bool arg_parser::parse(int argc, const char* const* argv) {
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            std::cout << usage(argv[0]);
+            return false;
+        }
+        if (arg.rfind("--", 0) != 0) {
+            positional_.push_back(arg);
+            continue;
+        }
+        const auto body = arg.substr(2);
+        const auto eq = body.find('=');
+        const std::string key = body.substr(0, eq);
+        const auto spec = specs_.find(key);
+        if (spec == specs_.end()) {
+            throw cli_error("unknown option --" + key);
+        }
+        if (spec->second.is_flag) {
+            if (eq != std::string::npos) {
+                throw cli_error("flag --" + key + " does not take a value");
+            }
+            values_[key] = "true";
+        } else {
+            if (eq == std::string::npos) {
+                throw cli_error("option --" + key + " requires =value");
+            }
+            values_[key] = body.substr(eq + 1);
+        }
+    }
+    return true;
+}
+
+std::string arg_parser::get_string(const std::string& name) const {
+    const auto spec = specs_.find(name);
+    KD_EXPECTS_MSG(spec != specs_.end(), "option was never declared");
+    const auto it = values_.find(name);
+    return it != values_.end() ? it->second : spec->second.default_value;
+}
+
+std::int64_t arg_parser::get_int(const std::string& name) const {
+    const std::string text = get_string(name);
+    std::int64_t value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), value);
+    if (ec != std::errc{} || ptr != text.data() + text.size()) {
+        throw cli_error("option --" + name + " expects an integer, got '" +
+                        text + "'");
+    }
+    return value;
+}
+
+double arg_parser::get_double(const std::string& name) const {
+    const std::string text = get_string(name);
+    try {
+        std::size_t pos = 0;
+        const double value = std::stod(text, &pos);
+        if (pos != text.size()) {
+            throw cli_error("option --" + name + " expects a number, got '" +
+                            text + "'");
+        }
+        return value;
+    } catch (const std::invalid_argument&) {
+        throw cli_error("option --" + name + " expects a number, got '" + text +
+                        "'");
+    }
+}
+
+bool arg_parser::get_flag(const std::string& name) const {
+    return get_string(name) == "true";
+}
+
+std::string arg_parser::usage(const std::string& program) const {
+    std::ostringstream out;
+    out << "usage: " << program << " [options]\n";
+    for (const auto& [name, spec] : specs_) {
+        out << "  --" << name;
+        if (!spec.is_flag) {
+            out << "=<value> (default: " << spec.default_value << ")";
+        }
+        out << "\n      " << spec.help << '\n';
+    }
+    return out.str();
+}
+
+} // namespace kdc

@@ -1,0 +1,58 @@
+// Tiny `--key=value` command-line parser for the example and bench binaries.
+// Deliberately small: flags are `--name` (boolean) or `--name=value`; anything
+// else is a positional argument. Unknown keys are an error so typos in sweep
+// scripts fail fast instead of silently running the default experiment.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace kdc {
+
+/// Thrown on malformed or unknown command-line arguments.
+class cli_error : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+class arg_parser {
+public:
+    /// Declares an option with a default value (also used for --help output).
+    void add_option(std::string name, std::string default_value,
+                    std::string help);
+
+    /// Declares a boolean flag (false unless present).
+    void add_flag(std::string name, std::string help);
+
+    /// Parses argv. Throws cli_error on unknown/malformed options.
+    /// Returns false if `--help` was requested (usage printed to stdout).
+    [[nodiscard]] bool parse(int argc, const char* const* argv);
+
+    [[nodiscard]] std::string get_string(const std::string& name) const;
+    [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+    [[nodiscard]] double get_double(const std::string& name) const;
+    [[nodiscard]] bool get_flag(const std::string& name) const;
+
+    [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+        return positional_;
+    }
+
+    /// Renders usage text from the declared options.
+    [[nodiscard]] std::string usage(const std::string& program) const;
+
+private:
+    struct option_spec {
+        std::string default_value;
+        std::string help;
+        bool is_flag = false;
+    };
+
+    std::map<std::string, option_spec> specs_;
+    std::map<std::string, std::string> values_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace kdc

@@ -1,0 +1,19 @@
+#include "support/contracts.hpp"
+
+#include <sstream>
+
+namespace kdc::detail {
+
+[[noreturn]] void contract_fail(const char* kind, const char* condition,
+                                const char* file, int line,
+                                const char* message) {
+    std::ostringstream out;
+    out << kind << " violated: `" << condition << "` at " << file << ':'
+        << line;
+    if (message != nullptr) {
+        out << " — " << message;
+    }
+    throw contract_violation(out.str());
+}
+
+} // namespace kdc::detail

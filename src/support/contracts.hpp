@@ -1,0 +1,49 @@
+// Contract checking in the spirit of C++ Core Guidelines I.5-I.8 (Expects/Ensures).
+//
+// Violations throw `kdc::contract_violation` so that library misuse is testable
+// and never silently corrupts an experiment. The checks are cheap (a branch) and
+// stay enabled in release builds: this library's hot loops validate their inputs
+// once per process/round, not per ball.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace kdc {
+
+/// Thrown when a precondition (KD_EXPECTS), postcondition (KD_ENSURES) or
+/// internal invariant (KD_ASSERT) is violated.
+class contract_violation : public std::logic_error {
+public:
+    using std::logic_error::logic_error;
+};
+
+namespace detail {
+
+[[noreturn]] void contract_fail(const char* kind, const char* condition,
+                                const char* file, int line,
+                                const char* message);
+
+} // namespace detail
+
+} // namespace kdc
+
+#define KDC_CONTRACT_CHECK(kind, cond, msg)                                    \
+    do {                                                                       \
+        if (!(cond)) {                                                         \
+            ::kdc::detail::contract_fail(kind, #cond, __FILE__, __LINE__,      \
+                                         msg);                                 \
+        }                                                                      \
+    } while (false)
+
+/// Precondition: caller must satisfy `cond` before the call.
+#define KD_EXPECTS(cond) KDC_CONTRACT_CHECK("precondition", cond, nullptr)
+#define KD_EXPECTS_MSG(cond, msg) KDC_CONTRACT_CHECK("precondition", cond, msg)
+
+/// Postcondition: callee guarantees `cond` on exit.
+#define KD_ENSURES(cond) KDC_CONTRACT_CHECK("postcondition", cond, nullptr)
+#define KD_ENSURES_MSG(cond, msg) KDC_CONTRACT_CHECK("postcondition", cond, msg)
+
+/// Internal invariant that should hold mid-computation.
+#define KD_ASSERT(cond) KDC_CONTRACT_CHECK("assertion", cond, nullptr)
+#define KD_ASSERT_MSG(cond, msg) KDC_CONTRACT_CHECK("assertion", cond, msg)

@@ -1,0 +1,47 @@
+#include "support/csv_writer.hpp"
+
+#include <algorithm>
+
+namespace kdc {
+
+std::string csv_escape(std::string_view field) {
+    const bool needs_quotes =
+        field.find_first_of(",\"\r\n") != std::string_view::npos;
+    if (!needs_quotes) {
+        return std::string(field);
+    }
+    std::string out;
+    out.reserve(field.size() + 2);
+    out.push_back('"');
+    for (const char c : field) {
+        if (c == '"') {
+            out.push_back('"');
+        }
+        out.push_back(c);
+    }
+    out.push_back('"');
+    return out;
+}
+
+void csv_writer::write_row(const std::vector<std::string>& fields) {
+    bool first = true;
+    for (const auto& field : fields) {
+        if (!first) {
+            *out_ << ',';
+        }
+        first = false;
+        *out_ << csv_escape(field);
+    }
+    *out_ << '\n';
+    ++rows_;
+}
+
+void csv_writer::write_row(std::initializer_list<std::string_view> fields) {
+    std::vector<std::string> copy;
+    copy.reserve(fields.size());
+    std::transform(fields.begin(), fields.end(), std::back_inserter(copy),
+                   [](std::string_view sv) { return std::string(sv); });
+    write_row(copy);
+}
+
+} // namespace kdc

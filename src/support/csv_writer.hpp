@@ -1,0 +1,35 @@
+// Minimal RFC-4180 CSV emission. Benchmark harnesses can dump their series to
+// CSV so plots can be regenerated outside the repo (gnuplot/pandas).
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kdc {
+
+/// Escapes a single CSV field per RFC 4180 (quotes fields containing commas,
+/// quotes, or newlines; doubles embedded quotes).
+[[nodiscard]] std::string csv_escape(std::string_view field);
+
+/// Streams rows of fields to an ostream as CSV. The writer does not own the
+/// stream; the caller controls lifetime and flushing (Core Guidelines F.7).
+class csv_writer {
+public:
+    explicit csv_writer(std::ostream& out) : out_(&out) {}
+
+    /// Writes one row; fields are escaped as needed.
+    void write_row(const std::vector<std::string>& fields);
+    void write_row(std::initializer_list<std::string_view> fields);
+
+    /// Number of rows written so far (including any header row).
+    [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
+
+private:
+    std::ostream* out_;
+    std::size_t rows_ = 0;
+};
+
+} // namespace kdc

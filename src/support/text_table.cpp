@@ -1,0 +1,103 @@
+#include "support/text_table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "support/contracts.hpp"
+
+namespace kdc {
+
+void text_table::set_header(std::vector<std::string> header) {
+    header_ = std::move(header);
+    aligns_.assign(header_.size(), table_align::right);
+    if (!aligns_.empty()) {
+        aligns_.front() = table_align::left;
+    }
+}
+
+void text_table::set_align(std::size_t col, table_align align) {
+    if (col >= aligns_.size()) {
+        aligns_.resize(col + 1, table_align::right);
+    }
+    aligns_[col] = align;
+}
+
+void text_table::add_row(std::vector<std::string> row) {
+    rows_.push_back(std::move(row));
+}
+
+std::vector<std::size_t> text_table::column_widths() const {
+    std::vector<std::size_t> widths;
+    auto absorb = [&widths](const std::vector<std::string>& row) {
+        if (row.size() > widths.size()) {
+            widths.resize(row.size(), 0);
+        }
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            widths[i] = std::max(widths[i], row[i].size());
+        }
+    };
+    absorb(header_);
+    for (const auto& row : rows_) {
+        absorb(row);
+    }
+    return widths;
+}
+
+std::string text_table::to_string() const {
+    const auto widths = column_widths();
+    std::ostringstream out;
+
+    auto align_of = [this](std::size_t col) {
+        return col < aligns_.size() ? aligns_[col] : table_align::right;
+    };
+    auto emit_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            const std::string cell = i < row.size() ? row[i] : std::string{};
+            if (i > 0) {
+                out << "  ";
+            }
+            const auto pad = widths[i] - std::min(widths[i], cell.size());
+            if (align_of(i) == table_align::right) {
+                out << std::string(pad, ' ') << cell;
+            } else {
+                out << cell << std::string(pad, ' ');
+            }
+        }
+        out << '\n';
+    };
+
+    if (!header_.empty()) {
+        emit_row(header_);
+        std::size_t total = 0;
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            total += widths[i] + (i > 0 ? 2 : 0);
+        }
+        out << std::string(total, '-') << '\n';
+    }
+    for (const auto& row : rows_) {
+        emit_row(row);
+    }
+    return out.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const text_table& table) {
+    return os << table.to_string();
+}
+
+std::string format_fixed(double value, int precision) {
+    KD_EXPECTS(precision >= 0);
+    std::ostringstream out;
+    out << std::fixed << std::setprecision(precision) << value;
+    return out.str();
+}
+
+std::string format_general(double value, int significant) {
+    KD_EXPECTS(significant > 0);
+    std::ostringstream out;
+    out << std::setprecision(significant) << value;
+    return out.str();
+}
+
+} // namespace kdc

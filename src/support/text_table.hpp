@@ -1,0 +1,58 @@
+// Fixed-width text table rendering, used by the benchmark harnesses to print
+// paper-style tables (e.g. Table 1 of the (k,d)-choice paper) on stdout.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace kdc {
+
+/// Column alignment inside a text_table.
+enum class table_align { left, right };
+
+/// A small, allocation-friendly text table. Rows are added as strings; the
+/// table computes column widths on render. No wrapping: harness output is
+/// meant for wide terminals and log files.
+class text_table {
+public:
+    text_table() = default;
+
+    /// Sets the header row. Resets column alignment to `right` for every
+    /// column except the first, which is `left` (the common layout for
+    /// parameter-vs-metric tables).
+    void set_header(std::vector<std::string> header);
+
+    /// Overrides alignment for column `col` (0-based).
+    void set_align(std::size_t col, table_align align);
+
+    /// Appends a data row. Rows may be ragged; short rows render with empty
+    /// trailing cells.
+    void add_row(std::vector<std::string> row);
+
+    /// Number of data rows added so far.
+    [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+    /// Renders the table with a separator line under the header.
+    [[nodiscard]] std::string to_string() const;
+
+    /// Streams the rendered table.
+    friend std::ostream& operator<<(std::ostream& os, const text_table& table);
+
+private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<table_align> aligns_;
+
+    [[nodiscard]] std::vector<std::size_t> column_widths() const;
+};
+
+/// Formats a double with `precision` digits after the decimal point.
+[[nodiscard]] std::string format_fixed(double value, int precision);
+
+/// Formats a double in the shortest round-trippable style with up to
+/// `significant` significant digits (trailing zeros stripped).
+[[nodiscard]] std::string format_general(double value, int significant = 4);
+
+} // namespace kdc

@@ -1,0 +1,171 @@
+#include "theory/bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/contracts.hpp"
+
+namespace kdc::theory {
+
+namespace {
+
+constexpr double euler_e = 2.718281828459045;
+
+[[nodiscard]] double ln(double x) { return std::log(x); }
+
+} // namespace
+
+void kd_params::validate() const {
+    KD_EXPECTS_MSG(n >= 1, "need at least one bin");
+    KD_EXPECTS_MSG(k >= 1, "k must be positive");
+    KD_EXPECTS_MSG(k < d, "the (k,d)-choice process requires k < d");
+    KD_EXPECTS_MSG(d <= n, "cannot probe more bins than exist");
+    KD_EXPECTS_MSG(n % k == 0,
+                   "paper assumption: n is a multiple of k (whole rounds)");
+}
+
+double dk_ratio(std::uint64_t k, std::uint64_t d) {
+    KD_EXPECTS(k < d);
+    return static_cast<double>(d) / static_cast<double>(d - k);
+}
+
+double first_term(std::uint64_t n, std::uint64_t k, std::uint64_t d) {
+    KD_EXPECTS(k < d);
+    if (n < 16) {
+        return 0.0; // ln ln n not meaningful at toy sizes
+    }
+    const double lnln_n = ln(ln(static_cast<double>(n)));
+    return lnln_n / ln(static_cast<double>(d - k + 1));
+}
+
+double second_term(std::uint64_t k, std::uint64_t d) {
+    const double dk = dk_ratio(k, d);
+    if (dk <= euler_e) {
+        return 0.0;
+    }
+    const double ln_dk = ln(dk);
+    const double lnln_dk = std::max(ln(ln_dk), 1.0);
+    return ln_dk / lnln_dk;
+}
+
+theorem1_prediction theorem1_bound(std::uint64_t n, std::uint64_t k,
+                                   std::uint64_t d, double dk_small_cutoff) {
+    theorem1_prediction out;
+    out.first = first_term(n, k, d);
+    out.dk_small = dk_ratio(k, d) <= dk_small_cutoff;
+    out.second = out.dk_small ? 0.0 : second_term(k, d);
+    out.total = out.first + out.second;
+    return out;
+}
+
+bool corollary1_applies(std::uint64_t n, std::uint64_t k, std::uint64_t d) {
+    if (n < 16) {
+        return false;
+    }
+    const double lnln_n = ln(ln(static_cast<double>(n)));
+    return ln(dk_ratio(k, d)) >= lnln_n * lnln_n * lnln_n;
+}
+
+theorem2_prediction theorem2_bound(std::uint64_t n, std::uint64_t k,
+                                   std::uint64_t d) {
+    KD_EXPECTS_MSG(d >= 2 * k, "Theorem 2 requires d >= 2k");
+    theorem2_prediction out;
+    out.lower = first_term(n, k, d);
+    const auto floor_ratio = d / k; // >= 2 by the precondition
+    const double lnln_n = n >= 16 ? ln(ln(static_cast<double>(n))) : 0.0;
+    out.upper = lnln_n / ln(static_cast<double>(floor_ratio));
+    return out;
+}
+
+double beta0_landmark(std::uint64_t n, std::uint64_t k, std::uint64_t d) {
+    return static_cast<double>(n) / (6.0 * dk_ratio(k, d));
+}
+
+double gamma_star_landmark(std::uint64_t n, std::uint64_t k, std::uint64_t d) {
+    return 4.0 * static_cast<double>(n) / dk_ratio(k, d);
+}
+
+double gamma0_landmark(std::uint64_t n, std::uint64_t d) {
+    KD_EXPECTS(d >= 1);
+    return static_cast<double>(n) / static_cast<double>(d);
+}
+
+double log_binomial(std::uint64_t n, std::uint64_t r) {
+    KD_EXPECTS(r <= n);
+    return std::lgamma(static_cast<double>(n) + 1.0) -
+           std::lgamma(static_cast<double>(r) + 1.0) -
+           std::lgamma(static_cast<double>(n - r) + 1.0);
+}
+
+std::vector<double> beta_sequence(std::uint64_t n, std::uint64_t k,
+                                  std::uint64_t d) {
+    KD_EXPECTS(k < d && d <= n);
+    const double dn = static_cast<double>(n);
+    const double floor_at = 6.0 * ln(dn);
+    const double log_coeff = ln(6.0 * dn / static_cast<double>(k)) +
+                             log_binomial(d, d - k + 1);
+    const auto exponent = static_cast<double>(d - k + 1);
+
+    std::vector<double> seq;
+    double beta = beta0_landmark(n, k, d);
+    seq.push_back(beta);
+    // The recursion collapses doubly exponentially; 200 iterations is far
+    // beyond any reachable i* (ln ln n / ln 2 < 6 even for n = 2^64).
+    for (int i = 0; i < 200 && beta >= floor_at; ++i) {
+        const double log_next = log_coeff + exponent * ln(beta / dn);
+        beta = std::min(dn, std::exp(log_next));
+        seq.push_back(beta);
+        if (beta <= 0.0) {
+            break;
+        }
+    }
+    return seq;
+}
+
+std::vector<double> gamma_sequence(std::uint64_t n, std::uint64_t k,
+                                   std::uint64_t d) {
+    KD_EXPECTS(k < d && d <= n);
+    const double dn = static_cast<double>(n);
+    const double floor_at = 9.0 * ln(dn);
+    const double log_coeff =
+        ln(dn / static_cast<double>(k)) + log_binomial(d, d - k + 1);
+    const auto exponent = static_cast<double>(d - k + 1);
+
+    std::vector<double> seq;
+    double gamma = gamma0_landmark(n, d);
+    seq.push_back(gamma);
+    for (int i = 0; i < 200 && gamma >= floor_at; ++i) {
+        const double log_next = -static_cast<double>(i + 6) * ln(2.0) +
+                                log_coeff + exponent * ln(gamma / dn);
+        gamma = std::min(dn, std::exp(log_next));
+        seq.push_back(gamma);
+        if (gamma <= 0.0) {
+            break;
+        }
+    }
+    return seq;
+}
+
+double i_star_bound(std::uint64_t n, std::uint64_t k, std::uint64_t d) {
+    return first_term(n, k, d);
+}
+
+double single_choice_max_load(std::uint64_t n) {
+    KD_EXPECTS(n >= 16);
+    const double ln_n = ln(static_cast<double>(n));
+    return ln_n / ln(ln_n);
+}
+
+double d_choice_max_load(std::uint64_t n, std::uint64_t d) {
+    KD_EXPECTS(n >= 16);
+    KD_EXPECTS(d >= 2);
+    return ln(ln(static_cast<double>(n))) / ln(static_cast<double>(d));
+}
+
+std::uint64_t message_cost(std::uint64_t m, std::uint64_t k, std::uint64_t d) {
+    KD_EXPECTS(k >= 1);
+    KD_EXPECTS_MSG(m % k == 0, "m must be a whole number of rounds");
+    return (m / k) * d;
+}
+
+} // namespace kdc::theory

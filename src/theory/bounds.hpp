@@ -1,0 +1,118 @@
+// Theory oracle: every closed-form quantity the paper derives, so benchmarks
+// and tests can overlay measured behaviour on the predicted bounds.
+//
+// References into the paper (arXiv:1201.3310):
+//  * dk              — Section 2.1 notation, dk = d / (d - k)
+//  * Theorem 1       — two-regime tight bounds on M(k, d, n)
+//  * Corollary 1     — pure ln dk / ln ln dk regime
+//  * Theorem 2       — heavily loaded sandwich for d >= 2k
+//  * beta0/gammas    — landmarks of Figures 1 and 2 (Sections 4.1, 5)
+//  * beta recursion  — equation (16); i* = last i with beta_i >= 6 ln n
+//  * gamma recursion — equations (27)-(28)
+//  * message cost    — footnote 1: probes issued = (m / k) * d
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace kdc::theory {
+
+/// Parameters of a (k,d)-choice instance. k < d <= n; n % k == 0 is the
+/// paper's standing assumption (validated by `validate()`).
+struct kd_params {
+    std::uint64_t n = 0; ///< number of bins
+    std::uint64_t k = 1; ///< balls placed per round
+    std::uint64_t d = 2; ///< bins probed per round
+
+    /// Throws contract_violation unless 1 <= k < d <= n and k | n.
+    void validate() const;
+};
+
+/// dk = d / (d - k). Grows as k approaches d; dk = O(1) iff k is a constant
+/// fraction of d away from d.
+[[nodiscard]] double dk_ratio(std::uint64_t k, std::uint64_t d);
+
+/// ln ln n / ln(d-k+1) — the first term of both Theorem 1 bounds. Returns 0
+/// for degenerate inputs (n <= e, or d - k + 1 < 2 which only happens for
+/// d = k + ... never: d > k implies d - k + 1 >= 2).
+[[nodiscard]] double first_term(std::uint64_t n, std::uint64_t k,
+                                std::uint64_t d);
+
+/// ln dk / ln ln dk — the second term of Theorem 1(ii). Defined for
+/// dk > e (otherwise the term is O(1) and we return 0).
+[[nodiscard]] double second_term(std::uint64_t k, std::uint64_t d);
+
+/// Predicted asymptotic maximum load (the shared leading-order expression of
+/// Theorem 1's upper and lower bound; they differ by O(1) / o(1) factors).
+struct theorem1_prediction {
+    double first = 0.0;   ///< ln ln n / ln(d-k+1)
+    double second = 0.0;  ///< ln dk / ln ln dk (0 in the dk = O(1) regime)
+    double total = 0.0;   ///< first + second
+    bool dk_small = true; ///< regime flag: dk treated as O(1)?
+};
+
+/// Computes the Theorem 1 prediction. The regime flag uses the pragmatic
+/// cutoff dk <= `dk_small_cutoff` (default e^2, i.e. "constant").
+[[nodiscard]] theorem1_prediction
+theorem1_bound(std::uint64_t n, std::uint64_t k, std::uint64_t d,
+               double dk_small_cutoff = 7.389056098930650);
+
+/// Corollary 1 applies when dk >= e^{(ln ln n)^3}.
+[[nodiscard]] bool corollary1_applies(std::uint64_t n, std::uint64_t k,
+                                      std::uint64_t d);
+
+/// Theorem 2: heavily loaded sandwich (valid for d >= 2k), expressed without
+/// the additive O(1) constants.
+struct theorem2_prediction {
+    double lower = 0.0; ///< ln ln n / ln(d-k+1), minus O(1)
+    double upper = 0.0; ///< ln ln n / ln floor(d/k), plus O(1)
+};
+[[nodiscard]] theorem2_prediction theorem2_bound(std::uint64_t n,
+                                                 std::uint64_t k,
+                                                 std::uint64_t d);
+
+/// Figure 1 landmark beta0 = n / (6 dk): the upper-bound analysis splits the
+/// max load into B_{beta0} + (B_1 - B_{beta0}).
+[[nodiscard]] double beta0_landmark(std::uint64_t n, std::uint64_t k,
+                                    std::uint64_t d);
+
+/// Figure 2 landmarks: gamma* = 4 n / dk and gamma0 = n / d.
+[[nodiscard]] double gamma_star_landmark(std::uint64_t n, std::uint64_t k,
+                                         std::uint64_t d);
+[[nodiscard]] double gamma0_landmark(std::uint64_t n, std::uint64_t d);
+
+/// The recursion (16): beta_{i+1} = (6n/k) C(d, d-k+1) (beta_i / n)^{d-k+1},
+/// beta_0 = n / (6 dk), evaluated until beta_i < 6 ln n. The sequence length
+/// minus one is i*, which Theorem 4 shows is <= ln ln n / ln(d-k+1).
+/// Binomial coefficients are evaluated in log space; entries are clamped to
+/// [0, n].
+[[nodiscard]] std::vector<double> beta_sequence(std::uint64_t n,
+                                                std::uint64_t k,
+                                                std::uint64_t d);
+
+/// The lower-bound recursion (27)-(28): gamma_0 = n/d,
+/// gamma_{i+1} = 2^{-(i+6)} (n/k) C(d, d-k+1) (gamma_i / n)^{d-k+1},
+/// evaluated until gamma_i < 9 ln n.
+[[nodiscard]] std::vector<double> gamma_sequence(std::uint64_t n,
+                                                 std::uint64_t k,
+                                                 std::uint64_t d);
+
+/// i* upper bound from Part B of Theorem 4: ln ln n / ln(d-k+1).
+[[nodiscard]] double i_star_bound(std::uint64_t n, std::uint64_t k,
+                                  std::uint64_t d);
+
+/// Classic single-choice maximum load (1 + o(1)) ln n / ln ln n [Raab-Steger].
+[[nodiscard]] double single_choice_max_load(std::uint64_t n);
+
+/// Classic d-choice maximum load ln ln n / ln d + O(1) [Azar et al.].
+[[nodiscard]] double d_choice_max_load(std::uint64_t n, std::uint64_t d);
+
+/// Message cost of placing m balls: (m / k) rounds of d probes each
+/// (footnote 1 of the paper defines cost = number of bins probed).
+[[nodiscard]] std::uint64_t message_cost(std::uint64_t m, std::uint64_t k,
+                                         std::uint64_t d);
+
+/// log of the binomial coefficient C(n, r), exact in log space via lgamma.
+[[nodiscard]] double log_binomial(std::uint64_t n, std::uint64_t r);
+
+} // namespace kdc::theory

@@ -1,0 +1,197 @@
+#include "core/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/metrics.hpp"
+#include "core/process.hpp"
+#include "stats/hypothesis.hpp"
+#include "support/contracts.hpp"
+
+namespace {
+
+using kdc::core::adaptive_threshold_process;
+using kdc::core::batched_greedy_process;
+using kdc::core::compute_load_metrics;
+using kdc::core::d_choice_process;
+using kdc::core::load_vector;
+using kdc::core::one_plus_beta_process;
+using kdc::core::single_choice_process;
+
+std::uint64_t total(const load_vector& loads) {
+    return std::accumulate(loads.begin(), loads.end(), std::uint64_t{0});
+}
+
+TEST(OnePlusBeta, ValidatesBeta) {
+    EXPECT_THROW(one_plus_beta_process(10, -0.1, 1), kdc::contract_violation);
+    EXPECT_THROW(one_plus_beta_process(10, 1.1, 1), kdc::contract_violation);
+    EXPECT_NO_THROW(one_plus_beta_process(10, 0.5, 1));
+}
+
+TEST(OnePlusBeta, PlacesAllBalls) {
+    one_plus_beta_process process(128, 0.5, 3);
+    process.run_balls(128);
+    EXPECT_EQ(total(process.loads()), 128u);
+}
+
+TEST(OnePlusBeta, BetaZeroMatchesSingleChoiceDistribution) {
+    std::vector<double> opb;
+    std::vector<double> single;
+    for (std::uint64_t seed = 0; seed < 150; ++seed) {
+        one_plus_beta_process a(256, 0.0, 100 + seed);
+        a.run_balls(256);
+        opb.push_back(static_cast<double>(
+            compute_load_metrics(a.loads()).max_load));
+        single_choice_process b(256, 900 + seed);
+        b.run_balls(256);
+        single.push_back(static_cast<double>(
+            compute_load_metrics(b.loads()).max_load));
+    }
+    EXPECT_GT(kdc::stats::ks_two_sample(opb, single).p_value, 1e-3);
+}
+
+TEST(OnePlusBeta, BetaOneMatchesTwoChoiceDistribution) {
+    std::vector<double> opb;
+    std::vector<double> two;
+    for (std::uint64_t seed = 0; seed < 150; ++seed) {
+        one_plus_beta_process a(256, 1.0, 100 + seed);
+        a.run_balls(256);
+        opb.push_back(static_cast<double>(
+            compute_load_metrics(a.loads()).max_load));
+        d_choice_process b(256, 2, 900 + seed);
+        b.run_balls(256);
+        two.push_back(static_cast<double>(
+            compute_load_metrics(b.loads()).max_load));
+    }
+    EXPECT_GT(kdc::stats::ks_two_sample(opb, two).p_value, 1e-3);
+}
+
+TEST(OnePlusBeta, MessageCostInterpolates) {
+    one_plus_beta_process process(1024, 0.5, 7);
+    process.run_balls(10000);
+    // Expected 1.5 probes per ball.
+    EXPECT_NEAR(static_cast<double>(process.messages()) / 10000.0, 1.5, 0.05);
+}
+
+TEST(OnePlusBeta, InterpolatesMaxLoadBetweenExtremes) {
+    auto mean_max = [](double beta) {
+        double sum = 0.0;
+        for (std::uint64_t seed = 0; seed < 30; ++seed) {
+            one_plus_beta_process p(4096, beta, 50 + seed);
+            p.run_balls(4096);
+            sum += static_cast<double>(
+                compute_load_metrics(p.loads()).max_load);
+        }
+        return sum / 30.0;
+    };
+    const double at0 = mean_max(0.0);
+    const double at_half = mean_max(0.5);
+    const double at1 = mean_max(1.0);
+    EXPECT_LT(at1, at_half);
+    EXPECT_LT(at_half, at0);
+}
+
+TEST(BatchedGreedy, ValidatesParameters) {
+    EXPECT_THROW(batched_greedy_process(10, 3, 3, 1),
+                 kdc::contract_violation);
+    EXPECT_NO_THROW(batched_greedy_process(10, 2, 3, 1));
+}
+
+TEST(BatchedGreedy, PlacesAllBalls) {
+    batched_greedy_process process(100, 2, 5, 9);
+    process.run_balls(100);
+    EXPECT_EQ(total(process.loads()), 100u);
+    EXPECT_EQ(process.messages(), (100 / 2) * 5);
+}
+
+TEST(BatchedGreedy, Section7WorkedExample) {
+    // Section 7: in (2,3)-choice, when the sampled bins hold 0, 2 and 3
+    // balls, the modified policy places BOTH balls into the empty bin
+    // (instead of one into the empty bin and one into the 2-ball bin).
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+        batched_greedy_process process(load_vector{0, 2, 3}, 2, 3, seed);
+        const std::vector<std::uint32_t> samples{0, 1, 2};
+        process.run_round_with_samples(samples);
+        EXPECT_EQ(process.loads(), (load_vector{2, 2, 3}));
+    }
+}
+
+TEST(BatchedGreedy, StandardPolicySplitsWhereGreedyStacks) {
+    // The contrast the paper draws in Section 7: the standard (2,3)-choice
+    // policy on the same state puts one ball in the empty bin and one in
+    // the 2-ball bin.
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+        kdc::core::kd_choice_process process(load_vector{0, 2, 3}, 2, 3,
+                                             seed);
+        const std::vector<std::uint32_t> samples{0, 1, 2};
+        process.run_round_with_samples(samples);
+        EXPECT_EQ(process.loads(), (load_vector{1, 3, 3}));
+    }
+}
+
+TEST(BatchedGreedy, NeverWorseThanKdChoiceOnAverage) {
+    // Section 7 conjectures the modified policy improves load balance for
+    // k ~ d. Check the mean max load over repetitions.
+    double kd_sum = 0.0;
+    double greedy_sum = 0.0;
+    constexpr int reps = 40;
+    for (std::uint64_t seed = 0; seed < reps; ++seed) {
+        kdc::core::kd_choice_process kd(1024, 30, 32, 10 + seed);
+        kd.run_balls(1020);
+        kd_sum += static_cast<double>(
+            compute_load_metrics(kd.loads()).max_load);
+        batched_greedy_process greedy(1024, 30, 32, 10 + seed);
+        greedy.run_balls(1020);
+        greedy_sum += static_cast<double>(
+            compute_load_metrics(greedy.loads()).max_load);
+    }
+    EXPECT_LE(greedy_sum, kd_sum);
+}
+
+TEST(AdaptiveThreshold, ValidatesParameters) {
+    EXPECT_THROW(adaptive_threshold_process(10, 1, 0, 1),
+                 kdc::contract_violation);
+    EXPECT_NO_THROW(adaptive_threshold_process(10, 1, 3, 1));
+}
+
+TEST(AdaptiveThreshold, PlacesAllBalls) {
+    adaptive_threshold_process process(256, 2, 8, 5);
+    process.run_balls(256);
+    EXPECT_EQ(total(process.loads()), 256u);
+}
+
+TEST(AdaptiveThreshold, MessageCostNearOneProbeWhenLightlyLoaded) {
+    // With threshold 2 and n balls into n bins, most probes hit bins below
+    // the threshold immediately: mean probes ~ 1 + o(1) (Czumaj-Stemann's
+    // (1+o(1))n total message bound).
+    adaptive_threshold_process process(1 << 14, 2, 16, 7);
+    process.run_balls(1 << 14);
+    EXPECT_LT(process.mean_probes(), 1.6);
+}
+
+TEST(AdaptiveThreshold, ThresholdCapsMaxLoadWhenBudgetLarge) {
+    adaptive_threshold_process process(4096, 2, 64, 9);
+    process.run_balls(4096);
+    // With a generous probe budget, loads beyond threshold+1 are rare;
+    // allow threshold + 2 for the tail.
+    EXPECT_LE(compute_load_metrics(process.loads()).max_load, 4u);
+}
+
+TEST(AdaptiveThreshold, SingleProbeBudgetIsSingleChoice) {
+    std::vector<double> adaptive;
+    std::vector<double> single;
+    for (std::uint64_t seed = 0; seed < 150; ++seed) {
+        adaptive_threshold_process a(256, 1, 1, 100 + seed);
+        a.run_balls(256);
+        adaptive.push_back(static_cast<double>(
+            compute_load_metrics(a.loads()).max_load));
+        single_choice_process b(256, 700 + seed);
+        b.run_balls(256);
+        single.push_back(static_cast<double>(
+            compute_load_metrics(b.loads()).max_load));
+    }
+    EXPECT_GT(kdc::stats::ks_two_sample(adaptive, single).p_value, 1e-3);
+}
+
+} // namespace

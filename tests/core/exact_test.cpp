@@ -1,0 +1,160 @@
+#include "core/exact.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/metrics.hpp"
+#include "core/process.hpp"
+#include "stats/hypothesis.hpp"
+#include "support/contracts.hpp"
+
+namespace {
+
+using kdc::core::exact_max_load;
+using kdc::core::exact_process;
+using kdc::core::exact_round;
+
+double total_probability(const kdc::core::state_distribution& dist) {
+    double sum = 0.0;
+    for (const auto& [state, p] : dist) {
+        sum += p;
+    }
+    return sum;
+}
+
+TEST(ExactRound, ProbabilitiesSumToOne) {
+    const auto dist = exact_round({2, 1, 0}, 2, 3);
+    EXPECT_NEAR(total_probability(dist), 1.0, 1e-12);
+}
+
+TEST(ExactRound, StatesAreSortedAndConserveBalls) {
+    const auto dist = exact_round({3, 1, 0, 0}, 2, 3);
+    for (const auto& [state, p] : dist) {
+        EXPECT_TRUE(std::is_sorted(state.begin(), state.end(),
+                                   std::greater<>{}));
+        std::uint64_t total = 0;
+        for (const auto load : state) {
+            total += load;
+        }
+        EXPECT_EQ(total, 6u); // 4 initial + 2 placed
+        EXPECT_GT(p, 0.0);
+    }
+}
+
+TEST(ExactRound, HandComputedTwoBins) {
+    // n = 2 bins at {1, 0}, one ball, two probes: the ball lands in the
+    // loaded bin only if both probes hit it (prob 1/4, slots at heights 2,3)
+    // -> state {2,0}; otherwise the empty bin is among the probes and wins
+    // (its slot height 1 < 2) -> state {1,1}.
+    const auto dist = exact_round({1, 0}, 1, 2);
+    ASSERT_EQ(dist.size(), 2u);
+    EXPECT_NEAR(dist.at({2, 0}), 0.25, 1e-12);
+    EXPECT_NEAR(dist.at({1, 1}), 0.75, 1e-12);
+}
+
+TEST(ExactRound, TieBreakSplitsUniformly) {
+    // n = 3 empty bins, probes = all distinct is not forced here: with
+    // k = 1, d = 2 from {0,0,0}, the ball is uniform over the two sampled
+    // bins' slots; by symmetry the resulting sorted state is always
+    // {1,0,0} with probability 1.
+    const auto dist = exact_round({0, 0, 0}, 1, 2);
+    ASSERT_EQ(dist.size(), 1u);
+    EXPECT_NEAR(dist.at({1, 0, 0}), 1.0, 1e-12);
+}
+
+TEST(ExactRound, ContractChecks) {
+    EXPECT_THROW((void)exact_round({0, 1}, 1, 2), kdc::contract_violation);
+    EXPECT_THROW((void)exact_round({1, 0}, 3, 2), kdc::contract_violation);
+    EXPECT_THROW((void)exact_round({}, 1, 2), kdc::contract_violation);
+}
+
+TEST(ExactProcess, TwoBinsOneRoundMatchesHand) {
+    // (1,2) on n = 2, after both balls: P(max=2) = 1/4 (see the analysis in
+    // exact.cpp's tests: ball 2 joins ball 1's bin iff both probes hit it).
+    const auto dist = exact_max_load(2, 1, 2);
+    ASSERT_EQ(dist.size(), 2u);
+    EXPECT_NEAR(dist.at(1), 0.75, 1e-12);
+    EXPECT_NEAR(dist.at(2), 0.25, 1e-12);
+}
+
+TEST(ExactProcess, DistributionsSumToOne) {
+    for (const auto& [n, k, d] :
+         std::vector<std::tuple<std::uint64_t, std::uint64_t,
+                                std::uint64_t>>{
+             {2, 1, 2}, {3, 1, 2}, {4, 2, 3}, {4, 1, 3}, {6, 2, 3}}) {
+        const auto dist = exact_max_load(n, k, d);
+        double sum = 0.0;
+        for (const auto& [v, p] : dist) {
+            sum += p;
+        }
+        EXPECT_NEAR(sum, 1.0, 1e-9) << "n=" << n << " k=" << k << " d=" << d;
+    }
+}
+
+TEST(ExactProcess, MoreProbesStochasticallyBetter) {
+    // Exact form of Property (ii) on a tiny instance: P(max >= t) for
+    // (1,3) is dominated by (1,2) for every t.
+    const auto d2 = exact_max_load(4, 1, 2);
+    const auto d3 = exact_max_load(4, 1, 3);
+    auto tail = [](const std::map<kdc::core::bin_load, double>& dist,
+                   kdc::core::bin_load t) {
+        double sum = 0.0;
+        for (const auto& [v, p] : dist) {
+            if (v >= t) {
+                sum += p;
+            }
+        }
+        return sum;
+    };
+    for (kdc::core::bin_load t = 1; t <= 4; ++t) {
+        EXPECT_LE(tail(d3, t), tail(d2, t) + 1e-12) << "t=" << t;
+    }
+}
+
+TEST(ExactVsSimulation, FrequenciesMatchChiSquare) {
+    // The fast sampling kernel must agree with the exact enumeration: run
+    // the simulator many times and chi-square the max-load frequencies
+    // against the exact distribution.
+    for (const auto& [n, k, d] :
+         std::vector<std::tuple<std::uint64_t, std::uint64_t,
+                                std::uint64_t>>{
+             {2, 1, 2}, {4, 1, 2}, {4, 2, 3}, {6, 2, 3}}) {
+        const auto exact = exact_max_load(n, k, d);
+        const auto max_value = exact.rbegin()->first;
+
+        std::vector<std::uint64_t> observed(max_value + 1, 0);
+        constexpr int trials = 20000;
+        for (int t = 0; t < trials; ++t) {
+            kdc::core::kd_choice_process process(
+                n, k, d, 10000 + static_cast<std::uint64_t>(t) * 13 +
+                             n * 1000 + d);
+            process.run_balls(n);
+            const auto max = kdc::core::compute_load_metrics(
+                process.loads()).max_load;
+            ASSERT_LE(max, max_value);
+            ++observed[max];
+        }
+
+        std::vector<double> expected(max_value + 1, 0.0);
+        for (const auto& [v, p] : exact) {
+            expected[v] = p;
+        }
+        const auto result = kdc::stats::chi_square_gof(observed, expected);
+        EXPECT_GT(result.p_value, 1e-4)
+            << "n=" << n << " k=" << k << " d=" << d
+            << " chi2=" << result.statistic;
+    }
+}
+
+TEST(ExactProcess, RequiresWholeRounds) {
+    EXPECT_THROW((void)exact_max_load(5, 2, 3), kdc::contract_violation);
+}
+
+TEST(ExactRound, EnumerationSizeGuard) {
+    // n^d too large must be rejected, not attempted.
+    const std::vector<kdc::core::bin_load> big(50, 0);
+    EXPECT_THROW((void)exact_round(big, 2, 8), kdc::contract_violation);
+}
+
+} // namespace

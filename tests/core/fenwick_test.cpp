@@ -1,0 +1,85 @@
+#include "core/fenwick.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rng/uniform.hpp"
+#include "rng/xoshiro256ss.hpp"
+#include "support/contracts.hpp"
+
+namespace {
+
+using kdc::core::fenwick_tree;
+
+TEST(FenwickTree, EmptyTreeSumsToZero) {
+    fenwick_tree tree(8);
+    EXPECT_EQ(tree.total(), 0u);
+    EXPECT_EQ(tree.prefix_sum(8), 0u);
+}
+
+TEST(FenwickTree, SinglePointAdd) {
+    fenwick_tree tree(10);
+    tree.add(3, 5);
+    EXPECT_EQ(tree.prefix_sum(3), 0u);
+    EXPECT_EQ(tree.prefix_sum(4), 5u);
+    EXPECT_EQ(tree.suffix_sum(3), 5u);
+    EXPECT_EQ(tree.suffix_sum(4), 0u);
+    EXPECT_EQ(tree.value_at(3), 5u);
+}
+
+TEST(FenwickTree, NegativeDeltaRemoves) {
+    fenwick_tree tree(4);
+    tree.add(1, 3);
+    tree.add(1, -2);
+    EXPECT_EQ(tree.value_at(1), 1u);
+    EXPECT_EQ(tree.total(), 1u);
+}
+
+TEST(FenwickTree, MatchesNaivePrefixSums) {
+    fenwick_tree tree(32);
+    std::vector<std::uint64_t> naive(32, 0);
+    kdc::rng::xoshiro256ss gen(1);
+    for (int op = 0; op < 1000; ++op) {
+        const auto idx =
+            static_cast<std::size_t>(kdc::rng::uniform_below(gen, 32));
+        tree.add(idx, 1);
+        ++naive[idx];
+    }
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < naive.size(); ++i) {
+        EXPECT_EQ(tree.prefix_sum(i), acc);
+        acc += naive[i];
+        EXPECT_EQ(tree.value_at(i), naive[i]);
+    }
+    EXPECT_EQ(tree.total(), acc);
+}
+
+TEST(FenwickTree, GrowPreservesCounts) {
+    fenwick_tree tree(4);
+    tree.add(0, 7);
+    tree.add(3, 2);
+    tree.grow_to(64);
+    EXPECT_GE(tree.size(), 64u);
+    EXPECT_EQ(tree.value_at(0), 7u);
+    EXPECT_EQ(tree.value_at(3), 2u);
+    EXPECT_EQ(tree.total(), 9u);
+    tree.add(50, 1);
+    EXPECT_EQ(tree.suffix_sum(10), 1u);
+}
+
+TEST(FenwickTree, GrowToSmallerIsNoOp) {
+    fenwick_tree tree(16);
+    tree.add(5, 5);
+    tree.grow_to(4);
+    EXPECT_EQ(tree.size(), 16u);
+    EXPECT_EQ(tree.value_at(5), 5u);
+}
+
+TEST(FenwickTree, OutOfRangeViolatesContract) {
+    fenwick_tree tree(4);
+    EXPECT_THROW(tree.add(4, 1), kdc::contract_violation);
+    EXPECT_THROW((void)tree.prefix_sum(5), kdc::contract_violation);
+}
+
+} // namespace

@@ -1,0 +1,94 @@
+// Consistency between the per-ball height log (Section 2's ball heights)
+// and the load-vector-derived quantities mu_y / nu_y.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/process.hpp"
+#include "core/serialized.hpp"
+
+namespace {
+
+using kdc::core::kd_choice_process;
+using kdc::core::mu_y;
+
+TEST(Heights, LogAgreesWithMuYFromLoads) {
+    // mu_y = #balls with height >= y can be computed two ways: from the
+    // final load vector (heights in a bin of load L are exactly 1..L) and
+    // by counting the recorded heights. They must agree for every y.
+    kd_choice_process process(256, 4, 8, 31);
+    process.record_heights(true);
+    process.run_balls(256);
+
+    const auto& log = process.height_log();
+    ASSERT_EQ(log.size(), 256u);
+    std::map<std::uint64_t, std::uint64_t> from_log;
+    std::uint64_t max_height = 0;
+    for (const auto& ball : log) {
+        ++from_log[ball.height];
+        max_height = std::max<std::uint64_t>(max_height, ball.height);
+    }
+    for (std::uint64_t y = 1; y <= max_height + 1; ++y) {
+        std::uint64_t count = 0;
+        for (const auto& [h, c] : from_log) {
+            if (h >= y) {
+                count += c;
+            }
+        }
+        EXPECT_EQ(count, mu_y(process.loads(), y)) << "y=" << y;
+    }
+}
+
+TEST(Heights, EachBinsHeightsAreContiguousFromOne) {
+    // A bin that ends with load L must have received balls at heights
+    // exactly {1, ..., L}.
+    kd_choice_process process(128, 2, 5, 37);
+    process.record_heights(true);
+    process.run_balls(128);
+
+    std::map<std::uint32_t, std::vector<std::uint64_t>> heights_by_bin;
+    for (const auto& ball : process.height_log()) {
+        heights_by_bin[ball.bin].push_back(ball.height);
+    }
+    for (auto& [bin, heights] : heights_by_bin) {
+        std::sort(heights.begin(), heights.end());
+        ASSERT_EQ(heights.size(), process.loads()[bin]);
+        for (std::size_t i = 0; i < heights.size(); ++i) {
+            EXPECT_EQ(heights[i], i + 1) << "bin=" << bin;
+        }
+    }
+}
+
+TEST(Heights, MaxHeightEqualsMaxLoad) {
+    kd_choice_process process(512, 8, 16, 41);
+    process.record_heights(true);
+    process.run_balls(512);
+    std::uint64_t max_height = 0;
+    for (const auto& ball : process.height_log()) {
+        max_height = std::max<std::uint64_t>(max_height, ball.height);
+    }
+    EXPECT_EQ(max_height,
+              kdc::core::compute_load_metrics(process.loads()).max_load);
+}
+
+TEST(Heights, SerializedPlacementsSatisfySameConsistency) {
+    kdc::core::serialized_process process(
+        128, 4, 8, 43, kdc::core::random_schedule(7));
+    process.run_balls(128);
+    std::map<std::uint32_t, std::vector<std::uint64_t>> heights_by_bin;
+    for (const auto& ball : process.placements()) {
+        heights_by_bin[ball.bin].push_back(ball.height);
+    }
+    for (auto& [bin, heights] : heights_by_bin) {
+        std::sort(heights.begin(), heights.end());
+        ASSERT_EQ(heights.size(), process.loads()[bin]);
+        for (std::size_t i = 0; i < heights.size(); ++i) {
+            EXPECT_EQ(heights[i], i + 1);
+        }
+    }
+}
+
+} // namespace

@@ -1,0 +1,104 @@
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/contracts.hpp"
+
+namespace {
+
+using kdc::core::compute_load_metrics;
+using kdc::core::load_histogram;
+using kdc::core::load_of_rank;
+using kdc::core::load_vector;
+using kdc::core::mu_y;
+using kdc::core::nu_profile;
+using kdc::core::nu_y;
+using kdc::core::sorted_loads_desc;
+
+const load_vector sample{3, 0, 2, 2, 0, 5};
+
+TEST(LoadMetrics, BasicQuantities) {
+    const auto m = compute_load_metrics(sample);
+    EXPECT_EQ(m.max_load, 5u);
+    EXPECT_EQ(m.min_load, 0u);
+    EXPECT_EQ(m.total_balls, 12u);
+    EXPECT_DOUBLE_EQ(m.mean_load, 2.0);
+    EXPECT_DOUBLE_EQ(m.gap, 3.0);
+    EXPECT_EQ(m.empty_bins, 2u);
+}
+
+TEST(LoadMetrics, EmptyVectorViolatesContract) {
+    EXPECT_THROW((void)compute_load_metrics({}), kdc::contract_violation);
+}
+
+TEST(NuY, CountsBinsAtLeastY) {
+    EXPECT_EQ(nu_y(sample, 0), 6u);
+    EXPECT_EQ(nu_y(sample, 1), 4u);
+    EXPECT_EQ(nu_y(sample, 2), 4u);
+    EXPECT_EQ(nu_y(sample, 3), 2u);
+    EXPECT_EQ(nu_y(sample, 5), 1u);
+    EXPECT_EQ(nu_y(sample, 6), 0u);
+}
+
+TEST(MuY, CountsBallsWithHeightAtLeastY) {
+    // Heights in a bin of load L are 1..L.
+    EXPECT_EQ(mu_y(sample, 0), 12u); // all balls
+    EXPECT_EQ(mu_y(sample, 1), 12u);
+    EXPECT_EQ(mu_y(sample, 2), 8u);  // (3-1)+(2-1)+(2-1)+(5-1)
+    EXPECT_EQ(mu_y(sample, 3), 4u);  // 1 + 0 + 0 + 3
+    EXPECT_EQ(mu_y(sample, 5), 1u);
+    EXPECT_EQ(mu_y(sample, 6), 0u);
+}
+
+TEST(MuNuRelation, NuNeverExceedsMu) {
+    // nu_y <= mu_y (Section 4.1 uses this).
+    for (std::uint64_t y = 0; y <= 6; ++y) {
+        EXPECT_LE(nu_y(sample, y), mu_y(sample, y));
+    }
+}
+
+TEST(LoadHistogram, CountsPerValue) {
+    const auto hist = load_histogram(sample);
+    ASSERT_EQ(hist.size(), 6u);
+    EXPECT_EQ(hist[0], 2u);
+    EXPECT_EQ(hist[2], 2u);
+    EXPECT_EQ(hist[3], 1u);
+    EXPECT_EQ(hist[5], 1u);
+    EXPECT_EQ(hist[1], 0u);
+    EXPECT_EQ(hist[4], 0u);
+}
+
+TEST(LoadHistogram, EmptyInputGivesSingleZeroCell) {
+    const auto hist = load_histogram({});
+    ASSERT_EQ(hist.size(), 1u);
+    EXPECT_EQ(hist[0], 0u);
+}
+
+TEST(NuProfile, MatchesNuYPointwise) {
+    const auto profile = nu_profile(sample);
+    ASSERT_EQ(profile.size(), 7u);
+    for (std::uint64_t y = 0; y < profile.size(); ++y) {
+        EXPECT_EQ(profile[y], nu_y(sample, y)) << "y=" << y;
+    }
+    EXPECT_EQ(profile.back(), 0u);
+}
+
+TEST(SortedLoadsDesc, IsTheFigureProfile) {
+    const auto sorted = sorted_loads_desc(sample);
+    const load_vector expected{5, 3, 2, 2, 0, 0};
+    EXPECT_EQ(sorted, expected);
+}
+
+TEST(LoadOfRank, MatchesSortedVector) {
+    const auto sorted = sorted_loads_desc(sample);
+    for (std::uint64_t x = 1; x <= sample.size(); ++x) {
+        EXPECT_EQ(load_of_rank(sample, x), sorted[x - 1]) << "x=" << x;
+    }
+}
+
+TEST(LoadOfRank, RankBoundsChecked) {
+    EXPECT_THROW((void)load_of_rank(sample, 0), kdc::contract_violation);
+    EXPECT_THROW((void)load_of_rank(sample, 7), kdc::contract_violation);
+}
+
+} // namespace

@@ -1,0 +1,90 @@
+// The worked allocation scenarios of Section 1 of the paper, verified
+// against the library's round kernel through the public process API.
+//
+// Setup (paper's example for (3,4)-choice): four bins with loads
+//   bin1 = 3, bin2 = 2, bin3 = 1, bin4 = 0
+// and three balls to place into the 3 least loaded of 4 sampled bins under
+// the multiplicity rule "a bin sampled m times receives at most m balls".
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/process.hpp"
+#include "rng/sampling.hpp"
+#include "rng/xoshiro256ss.hpp"
+
+namespace {
+
+using kdc::core::kd_choice_process;
+using kdc::core::load_vector;
+
+// Bin ids: 0 = bin1 (3 balls), 1 = bin2 (2), 2 = bin3 (1), 3 = bin4 (0).
+const load_vector initial{3, 2, 1, 0};
+
+TEST(PaperScenarios, ScenarioA_EachBinSampledOnce) {
+    // (a) Every bin sampled once: bin2, bin3 and bin4 each receive a ball.
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+        kd_choice_process process(initial, 3, 4, seed);
+        const std::vector<std::uint32_t> samples{0, 1, 2, 3};
+        process.run_round_with_samples(samples);
+        EXPECT_EQ(process.loads(), (load_vector{3, 3, 2, 1}));
+    }
+}
+
+TEST(PaperScenarios, ScenarioB_Bin4SampledTwice) {
+    // (b) bin2 and bin3 once, bin4 twice: "bin3 receives a ball and bin4
+    // receives two balls" under the paper's policy.
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+        kd_choice_process process(initial, 3, 4, seed);
+        const std::vector<std::uint32_t> samples{1, 2, 3, 3};
+        process.run_round_with_samples(samples);
+        EXPECT_EQ(process.loads(), (load_vector{3, 2, 2, 2}));
+    }
+}
+
+TEST(PaperScenarios, ScenarioC_OnlyTwoDistinctDestinations) {
+    // (c) bin1 and bin4 each sampled twice: "bin1 receives one ball and
+    // bin4 receives two".
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+        kd_choice_process process(initial, 3, 4, seed);
+        const std::vector<std::uint32_t> samples{0, 0, 3, 3};
+        process.run_round_with_samples(samples);
+        EXPECT_EQ(process.loads(), (load_vector{4, 2, 1, 2}));
+    }
+}
+
+TEST(PaperScenarios, ScenarioB_HeightsMatchSequentialView) {
+    // The serialization view: place 4 balls sequentially (heights: bin2 -> 3,
+    // bin3 -> 2, bin4 -> 1, 2), then remove the one with maximal height
+    // (the bin2 ball at height 3). The kept heights are {1, 2, 2}.
+    kd_choice_process process(initial, 3, 4, 123);
+    process.record_heights(true);
+    const std::vector<std::uint32_t> samples{1, 2, 3, 3};
+    process.run_round_with_samples(samples);
+    const auto& log = process.height_log();
+    ASSERT_EQ(log.size(), 3u);
+    EXPECT_EQ(log[0].height, 1u);
+    EXPECT_EQ(log[1].height, 2u);
+    EXPECT_EQ(log[2].height, 2u);
+}
+
+TEST(PaperScenarios, MultiplicityRuleNeverExceeded) {
+    // Randomized stress of the Section 1 rule: for any sample multiset, a
+    // bin's increment is at most its multiplicity.
+    kdc::rng::xoshiro256ss gen(7);
+    for (int trial = 0; trial < 500; ++trial) {
+        kd_choice_process process(load_vector(8, 0), 3, 5, trial);
+        std::vector<std::uint32_t> samples(5);
+        kdc::rng::sample_with_replacement(gen, 8,
+                                          std::span<std::uint32_t>(samples));
+        const load_vector before = process.loads();
+        process.run_round_with_samples(samples);
+        for (std::uint32_t bin = 0; bin < 8; ++bin) {
+            const auto multiplicity = static_cast<std::uint64_t>(
+                std::count(samples.begin(), samples.end(), bin));
+            EXPECT_LE(process.loads()[bin] - before[bin], multiplicity);
+        }
+    }
+}
+
+} // namespace

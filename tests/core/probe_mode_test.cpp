@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/metrics.hpp"
+#include "core/process.hpp"
+#include "stats/hypothesis.hpp"
+
+namespace {
+
+using kdc::core::compute_load_metrics;
+using kdc::core::kd_choice_process;
+using kdc::core::probe_mode;
+
+TEST(ProbeMode, DefaultIsWithReplacement) {
+    kd_choice_process process(16, 2, 4, 1);
+    EXPECT_EQ(process.probes(), probe_mode::with_replacement);
+}
+
+TEST(ProbeMode, WithoutReplacementPlacesAllBalls) {
+    kd_choice_process process(128, 2, 4, 3);
+    process.set_probe_mode(probe_mode::without_replacement);
+    process.run_balls(128);
+    const auto& loads = process.loads();
+    EXPECT_EQ(std::accumulate(loads.begin(), loads.end(), std::uint64_t{0}),
+              128u);
+}
+
+TEST(ProbeMode, WithoutReplacementDeterministic) {
+    kd_choice_process a(64, 2, 4, 9);
+    kd_choice_process b(64, 2, 4, 9);
+    a.set_probe_mode(probe_mode::without_replacement);
+    b.set_probe_mode(probe_mode::without_replacement);
+    a.run_balls(64);
+    b.run_balls(64);
+    EXPECT_EQ(a.loads(), b.loads());
+}
+
+TEST(ProbeMode, WithoutReplacementDEqualsNIsPerfectlyInformed) {
+    // Probing all n bins without replacement every round means the k balls
+    // always go to the k globally least loaded bins: with k | n the final
+    // allocation is perfectly flat.
+    kd_choice_process process(16, 4, 16, 5);
+    process.set_probe_mode(probe_mode::without_replacement);
+    process.run_balls(16);
+    const auto metrics = compute_load_metrics(process.loads());
+    EXPECT_EQ(metrics.max_load, 1u);
+    EXPECT_EQ(metrics.min_load, 1u);
+}
+
+TEST(ProbeMode, WithoutReplacementNeverWorseOnAverage) {
+    // Distinct probes strictly enlarge the candidate set relative to
+    // duplicated probes, so the mean max load cannot be (meaningfully)
+    // worse. Small n makes duplicates frequent enough to measure.
+    double with_sum = 0.0;
+    double without_sum = 0.0;
+    constexpr int reps = 80;
+    for (std::uint64_t seed = 0; seed < reps; ++seed) {
+        kd_choice_process with(64, 2, 8, 100 + seed);
+        with.run_balls(64 * 4);
+        with_sum += static_cast<double>(
+            compute_load_metrics(with.loads()).max_load);
+
+        kd_choice_process without(64, 2, 8, 100 + seed);
+        without.set_probe_mode(probe_mode::without_replacement);
+        without.run_balls(64 * 4);
+        without_sum += static_cast<double>(
+            compute_load_metrics(without.loads()).max_load);
+    }
+    EXPECT_LE(without_sum, with_sum + 0.1 * reps);
+}
+
+TEST(ProbeMode, LargeNDistributionsIndistinguishable) {
+    // At n >> d^2 duplicates are rare, so the two modes agree in
+    // distribution (KS on max loads).
+    std::vector<double> with_max;
+    std::vector<double> without_max;
+    for (std::uint64_t seed = 0; seed < 120; ++seed) {
+        kd_choice_process with(1024, 2, 4, 300 + seed);
+        with.run_balls(1024);
+        with_max.push_back(static_cast<double>(
+            compute_load_metrics(with.loads()).max_load));
+
+        kd_choice_process without(1024, 2, 4, 700 + seed);
+        without.set_probe_mode(probe_mode::without_replacement);
+        without.run_balls(1024);
+        without_max.push_back(static_cast<double>(
+            compute_load_metrics(without.loads()).max_load));
+    }
+    EXPECT_GT(kdc::stats::ks_two_sample(with_max, without_max).p_value, 1e-3);
+}
+
+} // namespace

@@ -1,0 +1,194 @@
+#include "core/process.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/metrics.hpp"
+#include "stats/hypothesis.hpp"
+#include "support/contracts.hpp"
+
+namespace {
+
+using kdc::core::compute_load_metrics;
+using kdc::core::d_choice_process;
+using kdc::core::kd_choice_process;
+using kdc::core::load_vector;
+using kdc::core::single_choice_process;
+
+std::uint64_t total(const load_vector& loads) {
+    return std::accumulate(loads.begin(), loads.end(), std::uint64_t{0});
+}
+
+TEST(KdChoiceProcess, ConstructorValidatesParameters) {
+    EXPECT_NO_THROW(kd_choice_process(10, 2, 3, 1));
+    EXPECT_THROW(kd_choice_process(10, 3, 3, 1), kdc::contract_violation);
+    EXPECT_THROW(kd_choice_process(10, 0, 3, 1), kdc::contract_violation);
+    EXPECT_THROW(kd_choice_process(4, 1, 5, 1), kdc::contract_violation);
+}
+
+TEST(KdChoiceProcess, OneRoundPlacesKBalls) {
+    kd_choice_process process(100, 3, 7, 42);
+    process.run_round();
+    EXPECT_EQ(process.balls_placed(), 3u);
+    EXPECT_EQ(process.rounds_run(), 1u);
+    EXPECT_EQ(total(process.loads()), 3u);
+}
+
+TEST(KdChoiceProcess, RunBallsRequiresWholeRounds) {
+    kd_choice_process process(100, 3, 7, 42);
+    EXPECT_THROW(process.run_balls(7), kdc::contract_violation);
+    EXPECT_NO_THROW(process.run_balls(9));
+    EXPECT_EQ(process.balls_placed(), 9u);
+}
+
+TEST(KdChoiceProcess, MessagesAreDPerRound) {
+    kd_choice_process process(300, 2, 5, 7);
+    process.run_balls(300);
+    EXPECT_EQ(process.messages(), (300 / 2) * 5);
+    // Matches footnote 1 / theory oracle.
+    EXPECT_EQ(process.messages(), 750u);
+}
+
+TEST(KdChoiceProcess, DeterministicUnderSeed) {
+    kd_choice_process a(500, 5, 8, 99);
+    kd_choice_process b(500, 5, 8, 99);
+    a.run_balls(500);
+    b.run_balls(500);
+    EXPECT_EQ(a.loads(), b.loads());
+}
+
+TEST(KdChoiceProcess, DifferentSeedsDiffer) {
+    kd_choice_process a(500, 5, 8, 1);
+    kd_choice_process b(500, 5, 8, 2);
+    a.run_balls(500);
+    b.run_balls(500);
+    EXPECT_NE(a.loads(), b.loads());
+}
+
+TEST(KdChoiceProcess, AllBallsAccountedFor) {
+    kd_choice_process process(1200, 4, 6, 5);
+    process.run_balls(1200);
+    EXPECT_EQ(total(process.loads()), 1200u);
+    EXPECT_EQ(process.balls_placed(), 1200u);
+}
+
+TEST(KdChoiceProcess, HeavilyLoadedRuns) {
+    // m = 8n balls into n bins; every ball must land.
+    kd_choice_process process(256, 2, 4, 11);
+    process.run_balls(8 * 256);
+    EXPECT_EQ(total(process.loads()), 8u * 256u);
+    const auto metrics = compute_load_metrics(process.loads());
+    EXPECT_GE(metrics.max_load, 8u); // max >= average
+}
+
+TEST(KdChoiceProcess, InjectedSamplesRespectD) {
+    kd_choice_process process(10, 2, 4, 3);
+    const std::vector<std::uint32_t> wrong_size{1, 2, 3};
+    EXPECT_THROW(process.run_round_with_samples(wrong_size),
+                 kdc::contract_violation);
+    const std::vector<std::uint32_t> ok{1, 2, 3, 4};
+    EXPECT_NO_THROW(process.run_round_with_samples(ok));
+}
+
+TEST(KdChoiceProcess, HeightLogRecordsWhenEnabled) {
+    kd_choice_process process(50, 2, 5, 17);
+    process.record_heights(true);
+    process.run_balls(50);
+    EXPECT_EQ(process.height_log().size(), 50u);
+    // Heights are consistent: no recorded height exceeds the final load of
+    // its bin, and each is at least 1.
+    for (const auto& ball : process.height_log()) {
+        EXPECT_GE(ball.height, 1u);
+        EXPECT_LE(ball.height, process.loads()[ball.bin]);
+    }
+}
+
+TEST(KdChoiceProcess, HeightLogOffByDefault) {
+    kd_choice_process process(50, 2, 5, 17);
+    process.run_balls(50);
+    EXPECT_TRUE(process.height_log().empty());
+}
+
+TEST(KdChoiceProcess, AccessorsExposeParameters) {
+    kd_choice_process process(64, 4, 9, 1);
+    EXPECT_EQ(process.n(), 64u);
+    EXPECT_EQ(process.k(), 4u);
+    EXPECT_EQ(process.d(), 9u);
+}
+
+TEST(SingleChoiceProcess, PlacesEveryBall) {
+    single_choice_process process(100, 5);
+    process.run_balls(1000);
+    EXPECT_EQ(total(process.loads()), 1000u);
+    EXPECT_EQ(process.messages(), 1000u);
+}
+
+TEST(SingleChoiceProcess, Deterministic) {
+    single_choice_process a(100, 5);
+    single_choice_process b(100, 5);
+    a.run_balls(500);
+    b.run_balls(500);
+    EXPECT_EQ(a.loads(), b.loads());
+}
+
+TEST(DChoiceProcess, PlacesEveryBallAndCountsMessages) {
+    d_choice_process process(100, 4, 5);
+    process.run_balls(300);
+    EXPECT_EQ(total(process.loads()), 300u);
+    EXPECT_EQ(process.messages(), 300u * 4u);
+}
+
+TEST(DChoiceProcess, BeatsSingleChoiceOnMaxLoad) {
+    single_choice_process single(4096, 21);
+    d_choice_process two(4096, 2, 21);
+    single.run_balls(4096);
+    two.run_balls(4096);
+    EXPECT_LT(compute_load_metrics(two.loads()).max_load,
+              compute_load_metrics(single.loads()).max_load);
+}
+
+TEST(DChoiceProcess, MatchesKdChoiceWithKOne) {
+    // (1, d)-choice and the dedicated d-choice fast path are the same
+    // distribution; compare max-load samples with a KS test.
+    std::vector<double> kd_max;
+    std::vector<double> dc_max;
+    for (std::uint64_t seed = 0; seed < 200; ++seed) {
+        kd_choice_process kd(512, 1, 3, 1000 + seed);
+        kd.run_balls(512);
+        kd_max.push_back(static_cast<double>(
+            compute_load_metrics(kd.loads()).max_load));
+        d_choice_process dc(512, 3, 2000 + seed);
+        dc.run_balls(512);
+        dc_max.push_back(static_cast<double>(
+            compute_load_metrics(dc.loads()).max_load));
+    }
+    const auto ks = kdc::stats::ks_two_sample(kd_max, dc_max);
+    EXPECT_GT(ks.p_value, 1e-3) << "D=" << ks.statistic;
+}
+
+TEST(SingleChoiceProcess, MatchesSAEquivalence) {
+    // SA(k,k): k balls into k bins per round == single choice ball-by-ball.
+    // With the same seed the streams differ, so compare distributions.
+    std::vector<double> singles;
+    std::vector<double> kd_like;
+    for (std::uint64_t seed = 0; seed < 200; ++seed) {
+        single_choice_process s(256, 3000 + seed);
+        s.run_balls(256);
+        singles.push_back(static_cast<double>(
+            compute_load_metrics(s.loads()).max_load));
+        // "(k,k)-choice" is not a valid parameterization (k < d required);
+        // emulate SA by a (k, d)-process would be wrong. Instead place k
+        // balls per round via k independent single choices.
+        single_choice_process r(256, 4000 + seed);
+        for (int round = 0; round < 256 / 8; ++round) {
+            r.run_balls(8);
+        }
+        kd_like.push_back(static_cast<double>(
+            compute_load_metrics(r.loads()).max_load));
+    }
+    const auto ks = kdc::stats::ks_two_sample(singles, kd_like);
+    EXPECT_GT(ks.p_value, 1e-3);
+}
+
+} // namespace

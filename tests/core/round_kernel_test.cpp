@@ -1,0 +1,195 @@
+#include "core/round_kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+#include <vector>
+
+#include "rng/xoshiro256ss.hpp"
+#include "support/contracts.hpp"
+
+namespace {
+
+using kdc::core::bin_load;
+using kdc::core::load_vector;
+using kdc::core::place_round;
+using kdc::core::placed_ball;
+using kdc::core::round_scratch;
+using kdc::rng::xoshiro256ss;
+
+std::uint64_t total(const load_vector& loads) {
+    return std::accumulate(loads.begin(), loads.end(), std::uint64_t{0});
+}
+
+TEST(RoundKernel, PlacesExactlyKBalls) {
+    load_vector loads(10, 0);
+    xoshiro256ss gen(1);
+    round_scratch scratch;
+    const std::vector<std::uint32_t> samples{0, 1, 2, 3, 4};
+    place_round(loads, samples, 3, gen, scratch);
+    EXPECT_EQ(total(loads), 3u);
+}
+
+TEST(RoundKernel, ChoosesLeastLoadedWhenSamplesDistinct) {
+    load_vector loads{5, 0, 3, 1, 9};
+    xoshiro256ss gen(2);
+    round_scratch scratch;
+    const std::vector<std::uint32_t> samples{0, 1, 2, 3, 4};
+    place_round(loads, samples, 2, gen, scratch);
+    // Least loaded were bins 1 (load 0) and 3 (load 1).
+    EXPECT_EQ(loads[1], 1u);
+    EXPECT_EQ(loads[3], 2u);
+    EXPECT_EQ(loads[0], 5u);
+    EXPECT_EQ(loads[2], 3u);
+    EXPECT_EQ(loads[4], 9u);
+}
+
+TEST(RoundKernel, MultiplicityRuleCapsBallsPerBin) {
+    // Scenario (c) of Section 1 shape: only two distinct bins for 3 balls.
+    load_vector loads{0, 0};
+    xoshiro256ss gen(3);
+    round_scratch scratch;
+    // Bin 0 sampled twice, bin 1 sampled twice; place 3 balls.
+    const std::vector<std::uint32_t> samples{0, 0, 1, 1};
+    place_round(loads, samples, 3, gen, scratch);
+    EXPECT_EQ(total(loads), 3u);
+    EXPECT_LE(loads[0], 2u);
+    EXPECT_LE(loads[1], 2u);
+}
+
+TEST(RoundKernel, SlotHeightsFollowOccurrenceIndex) {
+    // One bin sampled three times with initial load 5: candidate heights
+    // must be 6, 7, 8, and with k = 2 the kept heights are 6 and 7.
+    load_vector loads{5};
+    xoshiro256ss gen(4);
+    round_scratch scratch;
+    std::vector<placed_ball> placed;
+    const std::vector<std::uint32_t> samples{0, 0, 0};
+    place_round(loads, samples, 2, gen, scratch, &placed);
+    ASSERT_EQ(placed.size(), 2u);
+    EXPECT_EQ(placed[0].height, 6u);
+    EXPECT_EQ(placed[1].height, 7u);
+    EXPECT_EQ(loads[0], 7u);
+}
+
+TEST(RoundKernel, PlacedBallsSortedByHeight) {
+    load_vector loads{4, 2, 0, 7, 1};
+    xoshiro256ss gen(5);
+    round_scratch scratch;
+    std::vector<placed_ball> placed;
+    const std::vector<std::uint32_t> samples{0, 1, 2, 3, 4};
+    place_round(loads, samples, 3, gen, scratch, &placed);
+    ASSERT_EQ(placed.size(), 3u);
+    for (std::size_t i = 1; i < placed.size(); ++i) {
+        EXPECT_LE(placed[i - 1].height, placed[i].height);
+    }
+}
+
+TEST(RoundKernel, HeightEqualsLoadAfterPlacementForDistinctBins) {
+    load_vector loads{3, 1, 4};
+    xoshiro256ss gen(6);
+    round_scratch scratch;
+    std::vector<placed_ball> placed;
+    const std::vector<std::uint32_t> samples{0, 1, 2};
+    place_round(loads, samples, 2, gen, scratch, &placed);
+    for (const auto& ball : placed) {
+        EXPECT_EQ(ball.height, loads[ball.bin]);
+    }
+}
+
+TEST(RoundKernel, KeptSlotConsistency) {
+    // If a bin receives j balls, they must be the j lowest slots: final load
+    // = initial + j, and heights initial+1 .. initial+j. Stress this with
+    // heavy duplication.
+    xoshiro256ss gen(7);
+    round_scratch scratch;
+    for (int trial = 0; trial < 200; ++trial) {
+        load_vector loads{2, 2, 2};
+        std::vector<placed_ball> placed;
+        const std::vector<std::uint32_t> samples{0, 0, 0, 1, 1, 2};
+        place_round(loads, samples, 4, gen, scratch, &placed);
+        std::map<std::uint32_t, std::vector<bin_load>> by_bin;
+        for (const auto& ball : placed) {
+            by_bin[ball.bin].push_back(ball.height);
+        }
+        for (auto& [bin, heights] : by_bin) {
+            std::sort(heights.begin(), heights.end());
+            for (std::size_t j = 0; j < heights.size(); ++j) {
+                EXPECT_EQ(heights[j], 2 + j + 1);
+            }
+            EXPECT_EQ(loads[bin], 2 + heights.size());
+        }
+    }
+}
+
+TEST(RoundKernel, TieBreakIsUniformAcrossBins) {
+    // Four empty bins, k = 1: each should win about 1/4 of the time.
+    xoshiro256ss gen(8);
+    round_scratch scratch;
+    std::vector<std::uint64_t> wins(4, 0);
+    constexpr int trials = 40000;
+    for (int t = 0; t < trials; ++t) {
+        load_vector loads(4, 0);
+        std::vector<placed_ball> placed;
+        const std::vector<std::uint32_t> samples{0, 1, 2, 3};
+        place_round(loads, samples, 1, gen, scratch, &placed);
+        ++wins[placed[0].bin];
+    }
+    for (const auto w : wins) {
+        EXPECT_NEAR(static_cast<double>(w), trials / 4.0, 500.0);
+    }
+}
+
+TEST(RoundKernel, DuplicateSlowPathMatchesInvariants) {
+    // Duplicates force the sort-and-group path; totals must still add up.
+    xoshiro256ss gen(9);
+    round_scratch scratch;
+    load_vector loads(5, 0);
+    std::uint64_t placed_total = 0;
+    for (int round = 0; round < 100; ++round) {
+        const std::vector<std::uint32_t> samples{0, 0, 1, 2, 2, 3};
+        place_round(loads, samples, 4, gen, scratch);
+        placed_total += 4;
+    }
+    EXPECT_EQ(total(loads), placed_total);
+    EXPECT_EQ(loads[4], 0u); // never sampled
+}
+
+TEST(RoundKernel, KEqualsDTakesEverySlot) {
+    load_vector loads{0, 0, 0};
+    xoshiro256ss gen(10);
+    round_scratch scratch;
+    const std::vector<std::uint32_t> samples{0, 1, 2};
+    place_round(loads, samples, 3, gen, scratch);
+    EXPECT_EQ(loads, (load_vector{1, 1, 1}));
+}
+
+TEST(RoundKernel, ContractViolations) {
+    load_vector loads(4, 0);
+    xoshiro256ss gen(11);
+    round_scratch scratch;
+    const std::vector<std::uint32_t> samples{0, 1};
+    EXPECT_THROW(place_round(loads, samples, 3, gen, scratch),
+                 kdc::contract_violation); // k > slots
+    EXPECT_THROW(place_round(loads, samples, 0, gen, scratch),
+                 kdc::contract_violation); // k == 0
+    const std::vector<std::uint32_t> out_of_range{0, 9};
+    EXPECT_THROW(place_round(loads, out_of_range, 1, gen, scratch),
+                 kdc::contract_violation);
+}
+
+TEST(RoundKernel, ScratchReuseAcrossDifferentSizes) {
+    xoshiro256ss gen(12);
+    round_scratch scratch;
+    load_vector small(3, 0);
+    const std::vector<std::uint32_t> s1{0, 1, 2};
+    place_round(small, s1, 1, gen, scratch);
+    load_vector large(100, 0);
+    const std::vector<std::uint32_t> s2{10, 20, 30, 40};
+    place_round(large, s2, 2, gen, scratch);
+    EXPECT_EQ(total(small), 1u);
+    EXPECT_EQ(total(large), 2u);
+}
+
+} // namespace

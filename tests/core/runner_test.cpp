@@ -1,0 +1,108 @@
+#include "core/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/contracts.hpp"
+#include "theory/bounds.hpp"
+
+namespace {
+
+using kdc::core::experiment_config;
+using kdc::core::run_d_choice_experiment;
+using kdc::core::run_experiment;
+using kdc::core::run_kd_experiment;
+using kdc::core::run_single_choice_experiment;
+
+TEST(Runner, RunsRequestedRepetitions) {
+    const auto result =
+        run_kd_experiment(128, 2, 4, {.balls = 128, .reps = 7, .seed = 1});
+    EXPECT_EQ(result.reps.size(), 7u);
+    EXPECT_EQ(result.max_load_stats.count(), 7u);
+    EXPECT_EQ(result.max_load_values.total(), 7u);
+}
+
+TEST(Runner, ZeroBallsDefaultsToN) {
+    const auto result =
+        run_kd_experiment(128, 2, 4, {.balls = 0, .reps = 2, .seed = 1});
+    // n balls -> mean load exactly 1, so gap = max - 1.
+    for (const auto& rep : result.reps) {
+        EXPECT_DOUBLE_EQ(rep.gap,
+                         static_cast<double>(rep.max_load) - 1.0);
+    }
+}
+
+TEST(Runner, MessagesMatchTheoryOracle) {
+    const auto result =
+        run_kd_experiment(120, 3, 5, {.balls = 120, .reps = 3, .seed = 2});
+    for (const auto& rep : result.reps) {
+        EXPECT_EQ(rep.messages, kdc::theory::message_cost(120, 3, 5));
+    }
+}
+
+TEST(Runner, DeterministicUnderMasterSeed) {
+    const auto a =
+        run_kd_experiment(256, 2, 4, {.balls = 256, .reps = 5, .seed = 42});
+    const auto b =
+        run_kd_experiment(256, 2, 4, {.balls = 256, .reps = 5, .seed = 42});
+    ASSERT_EQ(a.reps.size(), b.reps.size());
+    for (std::size_t i = 0; i < a.reps.size(); ++i) {
+        EXPECT_EQ(a.reps[i].max_load, b.reps[i].max_load);
+    }
+}
+
+TEST(Runner, RepetitionsAreIndependent) {
+    const auto result =
+        run_kd_experiment(512, 1, 2, {.balls = 512, .reps = 20, .seed = 3});
+    // With 20 independent reps of (1,2) at n=512 the max load should not be
+    // identical in every rep AND equal to a degenerate value like 0/1.
+    EXPECT_GE(result.max_load_values.min_value(), 2u);
+}
+
+TEST(Runner, MaxLoadSetFormatsLikeTable1) {
+    const auto result =
+        run_kd_experiment(512, 1, 2, {.balls = 512, .reps = 10, .seed = 4});
+    const std::string set = result.max_load_set();
+    EXPECT_FALSE(set.empty());
+    // Must be "a" or "a, b" style: digits, commas, spaces only.
+    EXPECT_EQ(set.find_first_not_of("0123456789, "), std::string::npos);
+}
+
+TEST(Runner, SingleChoiceConvenience) {
+    const auto result =
+        run_single_choice_experiment(256, {.balls = 256, .reps = 4, .seed = 5});
+    EXPECT_EQ(result.reps.size(), 4u);
+    for (const auto& rep : result.reps) {
+        EXPECT_EQ(rep.messages, 256u);
+    }
+}
+
+TEST(Runner, DChoiceConvenience) {
+    const auto result =
+        run_d_choice_experiment(256, 3, {.balls = 256, .reps = 4, .seed = 6});
+    for (const auto& rep : result.reps) {
+        EXPECT_EQ(rep.messages, 256u * 3u);
+    }
+}
+
+TEST(Runner, GenericOverCustomFactory) {
+    const auto result = run_experiment(
+        {.balls = 100, .reps = 3, .seed = 9}, [](std::uint64_t seed) {
+            return kdc::core::single_choice_process(50, seed);
+        });
+    EXPECT_EQ(result.reps.size(), 3u);
+}
+
+TEST(Runner, InvalidConfigViolatesContract) {
+    EXPECT_THROW((void)run_kd_experiment(
+                     128, 2, 4, {.balls = 128, .reps = 0, .seed = 1}),
+                 kdc::contract_violation);
+}
+
+TEST(Runner, GapStatsAggregates) {
+    const auto result =
+        run_kd_experiment(256, 2, 4, {.balls = 2560, .reps = 5, .seed = 10});
+    EXPECT_EQ(result.gap_stats.count(), 5u);
+    EXPECT_GE(result.gap_stats.min(), 0.0);
+}
+
+} // namespace

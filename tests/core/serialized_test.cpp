@@ -1,0 +1,126 @@
+#include "core/serialized.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/metrics.hpp"
+#include "core/process.hpp"
+#include "stats/hypothesis.hpp"
+#include "support/contracts.hpp"
+
+namespace {
+
+using kdc::core::compute_load_metrics;
+using kdc::core::fixed_schedule;
+using kdc::core::identity_schedule;
+using kdc::core::kd_choice_process;
+using kdc::core::random_schedule;
+using kdc::core::reverse_schedule;
+using kdc::core::serialized_process;
+
+TEST(SerializedProcess, PlacesAllBalls) {
+    serialized_process process(100, 3, 5, 7, identity_schedule());
+    process.run_balls(99);
+    EXPECT_EQ(process.balls_placed(), 99u);
+    EXPECT_EQ(process.placements().size(), 99u);
+    const auto& loads = process.loads();
+    EXPECT_EQ(std::accumulate(loads.begin(), loads.end(), std::uint64_t{0}),
+              99u);
+}
+
+TEST(SerializedProcess, IdentityScheduleGivesNondecreasingHeightsPerRound) {
+    serialized_process process(200, 4, 8, 1, identity_schedule());
+    process.run_balls(200);
+    const auto& log = process.placements();
+    for (std::size_t r = 0; r < log.size(); r += 4) {
+        for (std::size_t s = 1; s < 4; ++s) {
+            EXPECT_LE(log[r + s - 1].height, log[r + s].height);
+        }
+    }
+}
+
+TEST(SerializedProcess, ReverseScheduleGivesNonincreasingHeightsPerRound) {
+    serialized_process process(200, 4, 8, 1, reverse_schedule());
+    process.run_balls(200);
+    const auto& log = process.placements();
+    for (std::size_t r = 0; r < log.size(); r += 4) {
+        for (std::size_t s = 1; s < 4; ++s) {
+            EXPECT_GE(log[r + s - 1].height, log[r + s].height);
+        }
+    }
+}
+
+TEST(SerializedProcess, PropertyI_FinalLoadsEqualKdChoiceUnderCoupledSamples) {
+    // Property (i) of Section 3: A_sigma(k,d) == A(k,d). Coupling: identical
+    // probe multisets. With the same underlying seed both processes draw the
+    // same samples and tie keys, so final loads must be *identical*,
+    // whatever sigma is.
+    for (const auto& schedule :
+         {identity_schedule(), reverse_schedule(), random_schedule(77)}) {
+        kd_choice_process reference(128, 3, 6, 55);
+        serialized_process serialized(128, 3, 6, 55, schedule);
+        reference.run_balls(126);
+        serialized.run_balls(126);
+        EXPECT_EQ(reference.loads(), serialized.loads());
+    }
+}
+
+TEST(SerializedProcess, PropertyI_DistributionalEquality) {
+    // Independent seeds, sigma = reversal vs sigma = identity: the max-load
+    // distributions must agree (KS test).
+    std::vector<double> identity_max;
+    std::vector<double> reverse_max;
+    for (std::uint64_t seed = 0; seed < 150; ++seed) {
+        serialized_process a(256, 2, 4, 9000 + seed, identity_schedule());
+        a.run_balls(256);
+        identity_max.push_back(static_cast<double>(
+            compute_load_metrics(a.loads()).max_load));
+        serialized_process b(256, 2, 4, 5000 + seed, reverse_schedule());
+        b.run_balls(256);
+        reverse_max.push_back(static_cast<double>(
+            compute_load_metrics(b.loads()).max_load));
+    }
+    const auto ks = kdc::stats::ks_two_sample(identity_max, reverse_max);
+    EXPECT_GT(ks.p_value, 1e-3);
+}
+
+TEST(SerializedProcess, FixedScheduleApplies) {
+    serialized_process process(64, 3, 6, 3,
+                               fixed_schedule({2u, 0u, 1u}));
+    process.run_balls(63);
+    ASSERT_EQ(process.placements().size(), 63u);
+    // With sigma = (2,0,1) the first ball of each round goes to the highest
+    // of the three kept slots, the second to the lowest.
+    const auto& log = process.placements();
+    for (std::size_t r = 0; r < log.size(); r += 3) {
+        EXPECT_GE(log[r].height, log[r + 1].height);
+        EXPECT_LE(log[r + 1].height, log[r + 2].height);
+    }
+}
+
+TEST(SerializedProcess, InvalidScheduleRejected) {
+    serialized_process process(64, 3, 6, 3,
+                               fixed_schedule({0u, 0u, 1u})); // not a perm
+    EXPECT_THROW(process.run_round(), kdc::contract_violation);
+
+    serialized_process wrong_size(64, 3, 6, 3, fixed_schedule({0u, 1u}));
+    EXPECT_THROW(wrong_size.run_round(), kdc::contract_violation);
+}
+
+TEST(SerializedProcess, MessagesMatchNonSerialized) {
+    serialized_process process(100, 2, 5, 1, identity_schedule());
+    process.run_balls(100);
+    EXPECT_EQ(process.messages(), (100 / 2) * 5);
+}
+
+TEST(SerializedProcess, HeightsConsistentWithFinalLoads) {
+    serialized_process process(100, 4, 8, 21, random_schedule(5));
+    process.run_balls(100);
+    for (const auto& ball : process.placements()) {
+        EXPECT_GE(ball.height, 1u);
+        EXPECT_LE(ball.height, process.loads()[ball.bin]);
+    }
+}
+
+} // namespace

@@ -1,0 +1,114 @@
+#include "core/threshold.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/metrics.hpp"
+#include "core/process.hpp"
+#include "stats/hypothesis.hpp"
+#include "support/contracts.hpp"
+
+namespace {
+
+using kdc::core::compute_load_metrics;
+using kdc::core::load_of_rank;
+using kdc::core::sa_threshold_process;
+using kdc::core::single_choice_process;
+
+TEST(SaThreshold, ValidatesX0) {
+    EXPECT_NO_THROW(sa_threshold_process(10, 10, 1));
+    EXPECT_THROW(sa_threshold_process(10, 11, 1), kdc::contract_violation);
+}
+
+TEST(SaThreshold, X0ZeroNeverDiscards) {
+    sa_threshold_process process(64, 0, 5);
+    process.run_balls(640);
+    EXPECT_EQ(process.balls_placed(), 640u);
+    EXPECT_EQ(process.balls_offered(), 640u);
+}
+
+TEST(SaThreshold, X0ZeroMatchesSingleChoiceDistribution) {
+    std::vector<double> sa;
+    std::vector<double> single;
+    for (std::uint64_t seed = 0; seed < 150; ++seed) {
+        sa_threshold_process a(256, 0, 100 + seed);
+        a.run_balls(256);
+        sa.push_back(static_cast<double>(
+            compute_load_metrics(a.loads()).max_load));
+        single_choice_process b(256, 800 + seed);
+        b.run_balls(256);
+        single.push_back(static_cast<double>(
+            compute_load_metrics(b.loads()).max_load));
+    }
+    EXPECT_GT(kdc::stats::ks_two_sample(sa, single).p_value, 1e-3);
+}
+
+TEST(SaThreshold, DiscardsHappenWithPositiveX0) {
+    sa_threshold_process process(64, 16, 7);
+    process.run_balls(6400);
+    EXPECT_LT(process.balls_placed(), process.balls_offered());
+    // Roughly x0/n of offers hit the top-x0 ranks once loads spread out.
+    const double discard_rate =
+        1.0 - static_cast<double>(process.balls_placed()) /
+                  static_cast<double>(process.balls_offered());
+    EXPECT_NEAR(discard_rate, 16.0 / 64.0, 0.05);
+}
+
+TEST(SaThreshold, Lemma8PartII_TopLoadsFlat) {
+    // Lemma 8(ii): B_1 equals B_{x0} or B_{x0}+1 — discarding every ball
+    // aimed at the top x0 ranks pins those ranks together.
+    for (std::uint64_t seed = 0; seed < 25; ++seed) {
+        sa_threshold_process process(128, 32, 100 + seed);
+        process.run_balls(128 * 40);
+        const auto b1 = load_of_rank(process.loads(), 1);
+        const auto bx0 = load_of_rank(process.loads(), 32);
+        EXPECT_TRUE(b1 == bx0 || b1 == bx0 + 1)
+            << "B1=" << b1 << " Bx0=" << bx0;
+    }
+}
+
+TEST(SaThreshold, PlacedBallsMatchLoadSum) {
+    sa_threshold_process process(100, 25, 3);
+    process.run_balls(5000);
+    const auto& loads = process.loads();
+    EXPECT_EQ(std::accumulate(loads.begin(), loads.end(), std::uint64_t{0}),
+              process.balls_placed());
+}
+
+TEST(SaThreshold, MessagesCountOfferedBalls) {
+    sa_threshold_process process(100, 25, 3);
+    process.run_balls(500);
+    EXPECT_EQ(process.messages(), 500u);
+}
+
+TEST(SaThreshold, Lemma8PartIII_DominatedBySingleChoice) {
+    // SA_{x0} <=dm SA: discarding can only lower every sorted-rank load.
+    // Statistical check on the mean max load.
+    double sa_sum = 0.0;
+    double single_sum = 0.0;
+    constexpr int reps = 60;
+    for (std::uint64_t seed = 0; seed < reps; ++seed) {
+        sa_threshold_process a(256, 64, 300 + seed);
+        a.run_balls(2560);
+        sa_sum += static_cast<double>(
+            compute_load_metrics(a.loads()).max_load);
+        single_choice_process b(256, 700 + seed);
+        b.run_balls(2560);
+        single_sum += static_cast<double>(
+            compute_load_metrics(b.loads()).max_load);
+    }
+    EXPECT_LE(sa_sum, single_sum);
+}
+
+TEST(SaThreshold, DeterministicUnderSeed) {
+    sa_threshold_process a(64, 8, 12);
+    sa_threshold_process b(64, 8, 12);
+    a.run_balls(1000);
+    b.run_balls(1000);
+    EXPECT_EQ(a.loads(), b.loads());
+    EXPECT_EQ(a.balls_placed(), b.balls_placed());
+}
+
+} // namespace

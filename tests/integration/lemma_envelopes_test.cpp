@@ -1,0 +1,132 @@
+// The paper's probabilistic lemmas, checked against simulation at scales
+// where the stated failure probabilities are negligible:
+//
+//   Lemma 2:  mu^{SA}_y < 8n/y!  w.p. 1 - exp(-n/(12 y!))   (single choice)
+//   Lemma 11: nu^{SA}_y > n/(8 y!) w.p. 1 - exp(-n/(32 y!))
+//   Lemma 3:  mu^A_y is stochastically below mu^{SA}_y      ((k,d) vs SA)
+//   Theorem 4, Part A: nu_{y0+i} <= beta_i along the recursion (16)
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/kdchoice.hpp"
+#include "stats/special_functions.hpp"
+#include "theory/bounds.hpp"
+
+namespace {
+
+using kdc::core::kd_choice_process;
+using kdc::core::mu_y;
+using kdc::core::nu_y;
+using kdc::core::single_choice_process;
+
+constexpr std::uint64_t lemma_n = 1 << 14;
+
+TEST(Lemma2Envelope, SingleChoiceMuBelowEightNOverYFactorial) {
+    // For y <= 5, exp(-n/(12 y!)) <= exp(-11) at n = 2^14: the bound should
+    // hold in every one of a handful of runs.
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+        single_choice_process process(lemma_n, 100 + seed);
+        process.run_balls(lemma_n);
+        for (std::uint64_t y = 1; y <= 5; ++y) {
+            const double envelope =
+                8.0 * static_cast<double>(lemma_n) /
+                std::exp(kdc::stats::log_factorial(y));
+            EXPECT_LT(static_cast<double>(mu_y(process.loads(), y)),
+                      envelope)
+                << "y=" << y << " seed=" << seed;
+        }
+    }
+}
+
+TEST(Lemma11Envelope, SingleChoiceNuAboveNOverEightYFactorial) {
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+        single_choice_process process(lemma_n, 200 + seed);
+        process.run_balls(lemma_n);
+        for (std::uint64_t y = 1; y <= 4; ++y) {
+            const double floor_bound =
+                static_cast<double>(lemma_n) /
+                (8.0 * std::exp(kdc::stats::log_factorial(y)));
+            EXPECT_GT(static_cast<double>(nu_y(process.loads(), y)),
+                      floor_bound)
+                << "y=" << y << " seed=" << seed;
+        }
+    }
+}
+
+TEST(Lemma3Domination, KdChoiceMuBelowSingleChoiceMuOnAverage) {
+    // mu^A_y <=st mu^{SA}_y (Lemma 3): compare means over repetitions at
+    // each height level.
+    constexpr int reps = 15;
+    for (std::uint64_t y = 2; y <= 4; ++y) {
+        double kd_sum = 0.0;
+        double sa_sum = 0.0;
+        for (std::uint64_t seed = 0; seed < reps; ++seed) {
+            kd_choice_process kd(lemma_n, 2, 4, 300 + seed);
+            kd.run_balls(lemma_n);
+            kd_sum += static_cast<double>(mu_y(kd.loads(), y));
+            single_choice_process sa(lemma_n, 600 + seed);
+            sa.run_balls(lemma_n);
+            sa_sum += static_cast<double>(mu_y(sa.loads(), y));
+        }
+        EXPECT_LE(kd_sum, sa_sum) << "y=" << y;
+    }
+}
+
+TEST(Theorem4PartA, NuFollowsBetaRecursion) {
+    // Part A of Theorem 4: with y0 = smallest y with nu_y <= beta_0,
+    // nu_{y0+i} <= beta_i holds for every i, w.p. 1 - O(i/n). Verify along
+    // the whole recursion for several configurations and seeds.
+    const std::uint64_t n = 1 << 16;
+    for (const auto& [k, d] :
+         std::vector<std::pair<std::uint64_t, std::uint64_t>>{
+             {1, 2}, {2, 3}, {2, 4}, {4, 8}}) {
+        const auto beta = kdc::theory::beta_sequence(n, k, d);
+        ASSERT_GE(beta.size(), 2u);
+        for (std::uint64_t seed = 0; seed < 5; ++seed) {
+            kd_choice_process process(n, k, d, 900 + seed);
+            process.run_balls(n);
+
+            // y0: smallest y with nu_y <= beta_0.
+            std::uint64_t y0 = 0;
+            while (static_cast<double>(nu_y(process.loads(), y0)) >
+                   beta.front()) {
+                ++y0;
+                ASSERT_LT(y0, 64u);
+            }
+            for (std::size_t i = 0; i < beta.size(); ++i) {
+                EXPECT_LE(static_cast<double>(
+                              nu_y(process.loads(), y0 + i)),
+                          beta[i] + 1.0)
+                    << "k=" << k << " d=" << d << " i=" << i
+                    << " seed=" << seed;
+            }
+        }
+    }
+}
+
+TEST(Theorem3Inversion, MeasuredBBeta0MatchesStirlingInversion) {
+    // Theorem 3's proof: y1! <= 48 dk, so B_{beta0} <= y1 + 1 with
+    // y1 = smallest y with y! > 48 dk minus one. Check the measured load at
+    // rank beta0 against that inversion (plus one unit of slack).
+    const std::uint64_t n = 1 << 16;
+    for (const auto& [k, d] :
+         std::vector<std::pair<std::uint64_t, std::uint64_t>>{
+             {1, 2}, {2, 4}, {16, 17}, {64, 65}}) {
+        const double dk = kdc::theory::dk_ratio(k, d);
+        const auto y_cut = kdc::stats::smallest_factorial_exceeding_log(
+            std::log(48.0 * dk));
+        const auto beta0 = static_cast<std::uint64_t>(
+            std::max(1.0, kdc::theory::beta0_landmark(n, k, d)));
+        for (std::uint64_t seed = 0; seed < 5; ++seed) {
+            kd_choice_process process(n, k, d, 1700 + seed);
+            process.run_balls(n - (n % k));
+            const auto b_beta0 =
+                kdc::core::load_of_rank(process.loads(), beta0);
+            EXPECT_LE(b_beta0, y_cut + 1)
+                << "k=" << k << " d=" << d << " seed=" << seed;
+        }
+    }
+}
+
+} // namespace

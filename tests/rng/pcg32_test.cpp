@@ -1,0 +1,64 @@
+#include "rng/pcg32.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace {
+
+using kdc::rng::pcg32;
+
+// Round 1 of the pcg32-demo program from the reference distribution,
+// seeded with pcg32_srandom(42u, 54u).
+TEST(Pcg32, MatchesReferenceVector) {
+    pcg32 gen(42u, 54u);
+    EXPECT_EQ(gen(), 0xa15c02b7u);
+    EXPECT_EQ(gen(), 0x7b47f409u);
+    EXPECT_EQ(gen(), 0xba1d3330u);
+    EXPECT_EQ(gen(), 0x83d2f293u);
+    EXPECT_EQ(gen(), 0xbfa4784bu);
+    EXPECT_EQ(gen(), 0xcbed606eu);
+}
+
+TEST(Pcg32, DeterministicForEqualSeeds) {
+    pcg32 a(3, 5);
+    pcg32 b(3, 5);
+    for (int i = 0; i < 1000; ++i) {
+        ASSERT_EQ(a(), b());
+    }
+}
+
+TEST(Pcg32, DifferentStreamsDiverge) {
+    pcg32 a(3, 5);
+    pcg32 b(3, 6);
+    int equal = 0;
+    for (int i = 0; i < 1000; ++i) {
+        equal += (a() == b()) ? 1 : 0;
+    }
+    EXPECT_LT(equal, 2);
+}
+
+TEST(Pcg32, SingleArgumentConstructorIsDeterministic) {
+    pcg32 a(11);
+    pcg32 b(11);
+    EXPECT_EQ(a(), b());
+}
+
+TEST(Pcg32, SatisfiesUniformRandomBitGenerator) {
+    static_assert(std::uniform_random_bit_generator<pcg32>);
+    EXPECT_EQ(pcg32::min(), 0u);
+    EXPECT_EQ(pcg32::max(), ~std::uint32_t{0});
+}
+
+TEST(Pcg32, BitsAreBalanced) {
+    pcg32 gen(2718);
+    int ones = 0;
+    constexpr int draws = 100000;
+    for (int i = 0; i < draws; ++i) {
+        ones += __builtin_popcount(gen());
+    }
+    const double mean_bits = static_cast<double>(ones) / draws;
+    EXPECT_NEAR(mean_bits, 16.0, 0.1);
+}
+
+} // namespace

@@ -1,0 +1,135 @@
+#include "rng/sampling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "rng/xoshiro256ss.hpp"
+#include "stats/hypothesis.hpp"
+
+namespace {
+
+using kdc::rng::random_permutation;
+using kdc::rng::sample_with_replacement;
+using kdc::rng::sample_without_replacement;
+using kdc::rng::xoshiro256ss;
+
+TEST(SampleWithReplacement, AllInRange) {
+    xoshiro256ss gen(1);
+    std::vector<std::uint32_t> out(64);
+    sample_with_replacement(gen, 100, std::span<std::uint32_t>(out));
+    for (const auto v : out) {
+        EXPECT_LT(v, 100u);
+    }
+}
+
+TEST(SampleWithReplacement, ProducesDuplicatesOnTinyDomain) {
+    xoshiro256ss gen(2);
+    std::vector<std::uint32_t> out(32);
+    sample_with_replacement(gen, 2, std::span<std::uint32_t>(out));
+    const std::set<std::uint32_t> distinct(out.begin(), out.end());
+    EXPECT_LE(distinct.size(), 2u);
+    EXPECT_LT(distinct.size(), out.size()); // with-replacement must repeat
+}
+
+TEST(SampleWithReplacement, MarginalIsUniform) {
+    xoshiro256ss gen(3);
+    constexpr std::uint64_t n = 10;
+    std::vector<std::uint64_t> counts(n, 0);
+    std::vector<std::uint32_t> out(5);
+    for (int i = 0; i < 20000; ++i) {
+        sample_with_replacement(gen, n, std::span<std::uint32_t>(out));
+        for (const auto v : out) {
+            ++counts[v];
+        }
+    }
+    const auto result = kdc::stats::chi_square_uniform(counts);
+    EXPECT_GT(result.p_value, 1e-4);
+}
+
+TEST(SampleWithoutReplacement, DistinctAndInRange) {
+    xoshiro256ss gen(4);
+    for (int trial = 0; trial < 100; ++trial) {
+        const auto sample = sample_without_replacement(gen, 50, 10);
+        ASSERT_EQ(sample.size(), 10u);
+        const std::set<std::uint32_t> distinct(sample.begin(), sample.end());
+        EXPECT_EQ(distinct.size(), 10u);
+        for (const auto v : sample) {
+            EXPECT_LT(v, 50u);
+        }
+    }
+}
+
+TEST(SampleWithoutReplacement, FullDomainIsPermutation) {
+    xoshiro256ss gen(5);
+    auto sample = sample_without_replacement(gen, 8, 8);
+    std::sort(sample.begin(), sample.end());
+    for (std::uint32_t i = 0; i < 8; ++i) {
+        EXPECT_EQ(sample[i], i);
+    }
+}
+
+TEST(SampleWithoutReplacement, CountZeroIsEmpty) {
+    xoshiro256ss gen(6);
+    EXPECT_TRUE(sample_without_replacement(gen, 5, 0).empty());
+}
+
+TEST(SampleWithoutReplacement, EachElementEquallyLikely) {
+    xoshiro256ss gen(7);
+    constexpr std::uint64_t n = 12;
+    std::vector<std::uint64_t> counts(n, 0);
+    for (int i = 0; i < 24000; ++i) {
+        for (const auto v : sample_without_replacement(gen, n, 3)) {
+            ++counts[v];
+        }
+    }
+    const auto result = kdc::stats::chi_square_uniform(counts);
+    EXPECT_GT(result.p_value, 1e-4);
+}
+
+TEST(Shuffle, PreservesMultiset) {
+    xoshiro256ss gen(8);
+    std::vector<int> items{1, 2, 2, 3, 5, 8, 13};
+    auto shuffled = items;
+    kdc::rng::shuffle(gen, std::span<int>(shuffled));
+    std::sort(shuffled.begin(), shuffled.end());
+    EXPECT_EQ(shuffled, items);
+}
+
+TEST(Shuffle, SingleAndEmptyAreNoOps) {
+    xoshiro256ss gen(9);
+    std::vector<int> empty;
+    kdc::rng::shuffle(gen, std::span<int>(empty));
+    std::vector<int> one{7};
+    kdc::rng::shuffle(gen, std::span<int>(one));
+    EXPECT_EQ(one[0], 7);
+}
+
+TEST(RandomPermutation, IsAPermutation) {
+    xoshiro256ss gen(10);
+    const auto perm = random_permutation(gen, 100);
+    std::vector<bool> seen(100, false);
+    for (const auto v : perm) {
+        ASSERT_LT(v, 100u);
+        ASSERT_FALSE(seen[v]);
+        seen[v] = true;
+    }
+}
+
+TEST(RandomPermutation, AllOrdersReachableOnThreeElements) {
+    xoshiro256ss gen(11);
+    std::map<std::vector<std::uint32_t>, int> orders;
+    for (int i = 0; i < 6000; ++i) {
+        ++orders[random_permutation(gen, 3)];
+    }
+    EXPECT_EQ(orders.size(), 6u);
+    // Every order should appear ~1000 times; 5-sigma band ~ +-150.
+    for (const auto& [order, count] : orders) {
+        EXPECT_NEAR(count, 1000, 200);
+    }
+}
+
+} // namespace

@@ -1,0 +1,154 @@
+#include "rng/uniform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rng/pcg32.hpp"
+#include "rng/xoshiro256ss.hpp"
+#include "stats/hypothesis.hpp"
+#include "support/contracts.hpp"
+
+namespace {
+
+using kdc::rng::pcg32;
+using kdc::rng::uniform_below;
+using kdc::rng::uniform_between;
+using kdc::rng::uniform_double;
+using kdc::rng::xoshiro256ss;
+
+TEST(UniformBelow, AlwaysInRange) {
+    xoshiro256ss gen(1);
+    for (const std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 193ULL,
+                                      1ULL << 33, ~0ULL}) {
+        for (int i = 0; i < 1000; ++i) {
+            EXPECT_LT(uniform_below(gen, bound), bound);
+        }
+    }
+}
+
+TEST(UniformBelow, BoundOneAlwaysZero) {
+    xoshiro256ss gen(2);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(uniform_below(gen, 1), 0u);
+    }
+}
+
+TEST(UniformBelow, ZeroBoundViolatesContract) {
+    xoshiro256ss gen(3);
+    EXPECT_THROW((void)uniform_below(gen, 0), kdc::contract_violation);
+}
+
+TEST(UniformBelow, ChiSquareUniformOverSmallDomain) {
+    xoshiro256ss gen(4);
+    constexpr std::uint64_t bound = 17;
+    std::vector<std::uint64_t> counts(bound, 0);
+    for (int i = 0; i < 170000; ++i) {
+        ++counts[uniform_below(gen, bound)];
+    }
+    const auto result = kdc::stats::chi_square_uniform(counts);
+    EXPECT_GT(result.p_value, 1e-4) << "statistic=" << result.statistic;
+}
+
+TEST(UniformBelow, ChiSquareUniformOverNonPowerOfTwoDomain) {
+    // 193 does not divide 2^64: this exercises the rejection path and the
+    // absence of modulo bias.
+    xoshiro256ss gen(5);
+    constexpr std::uint64_t bound = 193;
+    std::vector<std::uint64_t> counts(bound, 0);
+    for (int i = 0; i < 193000; ++i) {
+        ++counts[uniform_below(gen, bound)];
+    }
+    const auto result = kdc::stats::chi_square_uniform(counts);
+    EXPECT_GT(result.p_value, 1e-4);
+}
+
+TEST(UniformBelow, WorksWith32BitGenerator) {
+    pcg32 gen(42);
+    constexpr std::uint64_t bound = 100;
+    std::vector<std::uint64_t> counts(bound, 0);
+    for (int i = 0; i < 100000; ++i) {
+        const auto v = uniform_below(gen, bound);
+        ASSERT_LT(v, bound);
+        ++counts[v];
+    }
+    const auto result = kdc::stats::chi_square_uniform(counts);
+    EXPECT_GT(result.p_value, 1e-4);
+}
+
+TEST(UniformBetween, CoversInclusiveRange) {
+    xoshiro256ss gen(6);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = uniform_between(gen, -3, 3);
+        ASSERT_GE(v, -3);
+        ASSERT_LE(v, 3);
+        saw_lo |= (v == -3);
+        saw_hi |= (v == 3);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(UniformBetween, DegenerateRange) {
+    xoshiro256ss gen(7);
+    EXPECT_EQ(uniform_between(gen, 5, 5), 5);
+}
+
+TEST(UniformDouble, InHalfOpenUnitInterval) {
+    xoshiro256ss gen(8);
+    for (int i = 0; i < 100000; ++i) {
+        const double u = uniform_double(gen);
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+    }
+}
+
+TEST(UniformDouble, MeanIsOneHalf) {
+    xoshiro256ss gen(9);
+    double sum = 0.0;
+    constexpr int draws = 200000;
+    for (int i = 0; i < draws; ++i) {
+        sum += uniform_double(gen);
+    }
+    EXPECT_NEAR(sum / draws, 0.5, 0.005);
+}
+
+TEST(Bernoulli, EdgeProbabilities) {
+    xoshiro256ss gen(10);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(kdc::rng::bernoulli(gen, 0.0));
+        EXPECT_TRUE(kdc::rng::bernoulli(gen, 1.0));
+    }
+}
+
+TEST(Bernoulli, FrequencyMatchesP) {
+    xoshiro256ss gen(11);
+    int hits = 0;
+    constexpr int draws = 100000;
+    for (int i = 0; i < draws; ++i) {
+        hits += kdc::rng::bernoulli(gen, 0.3) ? 1 : 0;
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / draws, 0.3, 0.01);
+}
+
+TEST(Exponential, MeanAndPositivity) {
+    xoshiro256ss gen(12);
+    double sum = 0.0;
+    constexpr int draws = 200000;
+    for (int i = 0; i < draws; ++i) {
+        const double x = kdc::rng::exponential(gen, 2.0);
+        ASSERT_GE(x, 0.0);
+        sum += x;
+    }
+    EXPECT_NEAR(sum / draws, 2.0, 0.05);
+}
+
+TEST(Exponential, NonPositiveMeanViolatesContract) {
+    xoshiro256ss gen(13);
+    EXPECT_THROW((void)kdc::rng::exponential(gen, 0.0),
+                 kdc::contract_violation);
+}
+
+} // namespace

@@ -1,0 +1,112 @@
+#include "rng/xoshiro256ss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+#include <vector>
+
+namespace {
+
+using kdc::rng::xoshiro256ss;
+
+TEST(Xoshiro256ss, DeterministicForEqualSeeds) {
+    xoshiro256ss a(42);
+    xoshiro256ss b(42);
+    for (int i = 0; i < 1000; ++i) {
+        ASSERT_EQ(a(), b());
+    }
+}
+
+TEST(Xoshiro256ss, SeedingUsesSplitMixExpansion) {
+    // State words must equal the first four SplitMix64 outputs of the seed.
+    std::uint64_t sm = 123;
+    std::array<std::uint64_t, 4> expected{};
+    for (auto& word : expected) {
+        word = kdc::rng::splitmix64_next(sm);
+    }
+    xoshiro256ss gen(123);
+    EXPECT_EQ(gen.state(), expected);
+}
+
+TEST(Xoshiro256ss, FirstOutputMatchesHandComputation) {
+    // From the reference update rule: output = rotl(s1 * 5, 7) * 9.
+    xoshiro256ss gen(2024);
+    const std::uint64_t s1 = gen.state()[1];
+    const std::uint64_t x = s1 * 5;
+    const std::uint64_t rot = (x << 7) | (x >> 57);
+    EXPECT_EQ(gen(), rot * 9);
+}
+
+TEST(Xoshiro256ss, ExplicitStateConstructorRoundTrips) {
+    const std::array<std::uint64_t, 4> state{1, 2, 3, 4};
+    xoshiro256ss gen(state);
+    EXPECT_EQ(gen.state(), state);
+}
+
+TEST(Xoshiro256ss, JumpChangesStateDeterministically) {
+    xoshiro256ss a(7);
+    xoshiro256ss b(7);
+    a.jump();
+    b.jump();
+    EXPECT_EQ(a.state(), b.state());
+    xoshiro256ss c(7);
+    EXPECT_NE(a.state(), c.state());
+}
+
+TEST(Xoshiro256ss, JumpedStreamsDoNotOverlapInPrefix) {
+    xoshiro256ss base(99);
+    xoshiro256ss jumped(99);
+    jumped.jump();
+
+    std::set<std::uint64_t> prefix;
+    for (int i = 0; i < 10000; ++i) {
+        prefix.insert(base());
+    }
+    int collisions = 0;
+    for (int i = 0; i < 10000; ++i) {
+        collisions += prefix.count(jumped()) ? 1 : 0;
+    }
+    // 10^4 draws from a 2^64 space: any collision would be suspicious.
+    EXPECT_LE(collisions, 1);
+}
+
+TEST(Xoshiro256ss, LongJumpDiffersFromJump) {
+    xoshiro256ss a(5);
+    xoshiro256ss b(5);
+    a.jump();
+    b.long_jump();
+    EXPECT_NE(a.state(), b.state());
+}
+
+TEST(Xoshiro256ss, OutputBitsAreBalanced) {
+    xoshiro256ss gen(31337);
+    std::array<int, 64> ones{};
+    constexpr int draws = 100000;
+    for (int i = 0; i < draws; ++i) {
+        const std::uint64_t x = gen();
+        for (int bit = 0; bit < 64; ++bit) {
+            ones[bit] += static_cast<int>((x >> bit) & 1u);
+        }
+    }
+    // Each bit is Binomial(draws, 1/2): 5 sigma ~ 0.5*sqrt(draws)*5 = 790.
+    for (int bit = 0; bit < 64; ++bit) {
+        EXPECT_NEAR(ones[bit], draws / 2, 800) << "bit " << bit;
+    }
+}
+
+TEST(Xoshiro256ss, SatisfiesUniformRandomBitGenerator) {
+    static_assert(std::uniform_random_bit_generator<xoshiro256ss>);
+    EXPECT_EQ(xoshiro256ss::min(), 0u);
+    EXPECT_EQ(xoshiro256ss::max(), ~std::uint64_t{0});
+}
+
+TEST(Xoshiro256ss, EqualityComparesState) {
+    xoshiro256ss a(1);
+    xoshiro256ss b(1);
+    EXPECT_EQ(a, b);
+    (void)a();
+    EXPECT_NE(a, b);
+}
+
+} // namespace

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "sched/scheduler.hpp"
+#include "support/contracts.hpp"
+
+namespace {
+
+using kdc::sched::probe_strategy;
+using kdc::sched::scheduler_config;
+using kdc::sched::service_model;
+using kdc::sched::simulate;
+
+scheduler_config pareto_config() {
+    scheduler_config config;
+    config.workers = 64;
+    config.jobs = 2000;
+    config.tasks_per_job = 4;
+    config.probes = 8;
+    config.arrival_rate = 8.0; // utilization 0.5
+    config.mean_service = 1.0;
+    config.service = service_model::pareto;
+    config.pareto_shape = 2.0;
+    config.strategy = probe_strategy::batch_kd_choice;
+    config.seed = 21;
+    return config;
+}
+
+TEST(ParetoService, ValidatesShape) {
+    auto config = pareto_config();
+    config.pareto_shape = 1.0;
+    EXPECT_THROW(config.validate(), kdc::contract_violation);
+    config.pareto_shape = 1.5;
+    EXPECT_NO_THROW(config.validate());
+}
+
+TEST(ParetoService, AllJobsComplete) {
+    const auto result = simulate(pareto_config());
+    EXPECT_EQ(result.tasks_completed, 2000u * 4u);
+    EXPECT_EQ(result.response_time.count, 2000u);
+}
+
+TEST(ParetoService, HeavierTailThanExponential) {
+    // Same mean service and load: Pareto(2) produces a far heavier response
+    // tail (p99 / median ratio) than exponential.
+    auto pareto = pareto_config();
+    const auto pareto_result = simulate(pareto);
+
+    auto expo = pareto_config();
+    expo.service = service_model::exponential;
+    const auto expo_result = simulate(expo);
+
+    const double pareto_tail =
+        pareto_result.response_time.p99 / pareto_result.response_time.median;
+    const double expo_tail =
+        expo_result.response_time.p99 / expo_result.response_time.median;
+    EXPECT_GT(pareto_tail, expo_tail);
+}
+
+TEST(ParetoService, SharedProbingStillBeatsRandom) {
+    // The paper's scheduling claim must survive heavy-tailed service.
+    auto kd = pareto_config();
+    const auto kd_result = simulate(kd);
+
+    auto random = pareto_config();
+    random.strategy = probe_strategy::random_worker;
+    const auto random_result = simulate(random);
+
+    EXPECT_LT(kd_result.response_time.mean, random_result.response_time.mean);
+}
+
+TEST(ParetoService, MinimumServiceRespectsScale) {
+    // Pareto scaled to mean 1 with shape 2 has x_min = 0.5: no task can be
+    // faster than that, so no response can either.
+    auto config = pareto_config();
+    config.jobs = 500;
+    const auto result = simulate(config);
+    EXPECT_GE(result.response_time.min, 0.5 - 1e-9);
+}
+
+} // namespace

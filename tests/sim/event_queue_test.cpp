@@ -1,0 +1,134 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/contracts.hpp"
+
+namespace {
+
+using kdc::sim::event_queue;
+using kdc::sim::simulator;
+
+TEST(EventQueue, PopsInTimeOrder) {
+    event_queue queue;
+    std::vector<int> order;
+    queue.schedule_at(3.0, [&order] { order.push_back(3); });
+    queue.schedule_at(1.0, [&order] { order.push_back(1); });
+    queue.schedule_at(2.0, [&order] { order.push_back(2); });
+    while (!queue.empty()) {
+        double when = 0.0;
+        queue.pop(when)();
+    }
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakInSchedulingOrder) {
+    event_queue queue;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i) {
+        queue.schedule_at(1.0, [&order, i] { order.push_back(i); });
+    }
+    while (!queue.empty()) {
+        double when = 0.0;
+        queue.pop(when)();
+    }
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, PopExposesEventTime) {
+    event_queue queue;
+    queue.schedule_at(2.5, [] {});
+    double when = 0.0;
+    (void)queue.pop(when);
+    EXPECT_DOUBLE_EQ(when, 2.5);
+}
+
+TEST(EventQueue, RejectsNegativeTimeAndEmptyHandler) {
+    event_queue queue;
+    EXPECT_THROW(queue.schedule_at(-1.0, [] {}), kdc::contract_violation);
+    EXPECT_THROW(queue.schedule_at(1.0, {}), kdc::contract_violation);
+}
+
+TEST(EventQueue, PopOnEmptyViolatesContract) {
+    event_queue queue;
+    double when = 0.0;
+    EXPECT_THROW((void)queue.pop(when), kdc::contract_violation);
+}
+
+TEST(Simulator, ClockAdvancesWithEvents) {
+    simulator sim;
+    std::vector<double> times;
+    sim.schedule_after(1.0, [&] { times.push_back(sim.now()); });
+    sim.schedule_after(2.0, [&] { times.push_back(sim.now()); });
+    EXPECT_EQ(sim.run(), 2u);
+    EXPECT_EQ(times, (std::vector<double>{1.0, 2.0}));
+    EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+}
+
+TEST(Simulator, HandlersCanScheduleMoreEvents) {
+    simulator sim;
+    int chain = 0;
+    std::function<void()> step = [&] {
+        if (++chain < 5) {
+            sim.schedule_after(1.0, step);
+        }
+    };
+    sim.schedule_after(1.0, step);
+    (void)sim.run();
+    EXPECT_EQ(chain, 5);
+    EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+    simulator sim;
+    int fired = 0;
+    sim.schedule_at(1.0, [&] { ++fired; });
+    sim.schedule_at(5.0, [&] { ++fired; });
+    EXPECT_EQ(sim.run_until(3.0), 1u);
+    EXPECT_EQ(fired, 1);
+    EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+    EXPECT_EQ(sim.pending(), 1u);
+    (void)sim.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RunUntilIncludesBoundaryEvents) {
+    simulator sim;
+    int fired = 0;
+    sim.schedule_at(3.0, [&] { ++fired; });
+    (void)sim.run_until(3.0);
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, CannotScheduleIntoThePast) {
+    simulator sim;
+    sim.schedule_at(2.0, [] {});
+    (void)sim.run();
+    EXPECT_THROW(sim.schedule_at(1.0, [] {}), kdc::contract_violation);
+    EXPECT_THROW(sim.schedule_after(-0.5, [] {}), kdc::contract_violation);
+}
+
+TEST(Simulator, ZeroDelayEventsRunAtCurrentTime) {
+    simulator sim;
+    std::vector<int> order;
+    sim.schedule_after(1.0, [&] {
+        order.push_back(1);
+        sim.schedule_after(0.0, [&] { order.push_back(2); });
+    });
+    sim.schedule_after(2.0, [&] { order.push_back(3); });
+    (void)sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, IdleReflectsQueueState) {
+    simulator sim;
+    EXPECT_TRUE(sim.idle());
+    sim.schedule_after(1.0, [] {});
+    EXPECT_FALSE(sim.idle());
+    (void)sim.run();
+    EXPECT_TRUE(sim.idle());
+}
+
+} // namespace

@@ -1,0 +1,106 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/contracts.hpp"
+
+namespace {
+
+using kdc::stats::integer_histogram;
+
+TEST(IntegerHistogram, CountsValues) {
+    integer_histogram h;
+    h.add(3);
+    h.add(3);
+    h.add(7);
+    EXPECT_EQ(h.count(3), 2u);
+    EXPECT_EQ(h.count(7), 1u);
+    EXPECT_EQ(h.count(5), 0u);
+    EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(IntegerHistogram, WeightedAdd) {
+    integer_histogram h;
+    h.add(2, 10);
+    EXPECT_EQ(h.count(2), 10u);
+    EXPECT_EQ(h.total(), 10u);
+}
+
+TEST(IntegerHistogram, MinMax) {
+    integer_histogram h;
+    h.add(5);
+    h.add(1);
+    h.add(9);
+    EXPECT_EQ(h.min_value(), 1u);
+    EXPECT_EQ(h.max_value(), 9u);
+}
+
+TEST(IntegerHistogram, EmptyAccessorsViolateContract) {
+    const integer_histogram h;
+    EXPECT_THROW((void)h.max_value(), kdc::contract_violation);
+    EXPECT_THROW((void)h.min_value(), kdc::contract_violation);
+    EXPECT_THROW((void)h.mean(), kdc::contract_violation);
+}
+
+TEST(IntegerHistogram, CountAtLeastIsSuffixSum) {
+    integer_histogram h;
+    h.add(0, 4);
+    h.add(1, 3);
+    h.add(2, 2);
+    h.add(5, 1);
+    EXPECT_EQ(h.count_at_least(0), 10u);
+    EXPECT_EQ(h.count_at_least(1), 6u);
+    EXPECT_EQ(h.count_at_least(2), 3u);
+    EXPECT_EQ(h.count_at_least(3), 1u);
+    EXPECT_EQ(h.count_at_least(6), 0u);
+}
+
+TEST(IntegerHistogram, Mean) {
+    integer_histogram h;
+    h.add(1, 2);
+    h.add(4, 2);
+    EXPECT_DOUBLE_EQ(h.mean(), 2.5);
+}
+
+TEST(IntegerHistogram, QuantileNearestRank) {
+    integer_histogram h;
+    for (std::uint64_t v = 1; v <= 10; ++v) {
+        h.add(v);
+    }
+    EXPECT_EQ(h.quantile(0.0), 1u);
+    EXPECT_EQ(h.quantile(0.5), 5u);
+    EXPECT_EQ(h.quantile(1.0), 10u);
+}
+
+TEST(IntegerHistogram, MergeAddsCounts) {
+    integer_histogram a;
+    a.add(1);
+    a.add(2);
+    integer_histogram b;
+    b.add(2);
+    b.add(9);
+    a.merge(b);
+    EXPECT_EQ(a.total(), 4u);
+    EXPECT_EQ(a.count(2), 2u);
+    EXPECT_EQ(a.count(9), 1u);
+}
+
+TEST(IntegerHistogram, SupportStringMatchesPaperTableFormat) {
+    integer_histogram h;
+    h.add(8);
+    h.add(7);
+    h.add(9);
+    h.add(8);
+    EXPECT_EQ(h.support_string(), "7, 8, 9");
+
+    integer_histogram single;
+    single.add(2, 10);
+    EXPECT_EQ(single.support_string(), "2");
+}
+
+TEST(IntegerHistogram, SupportStringEmpty) {
+    const integer_histogram h;
+    EXPECT_EQ(h.support_string(), "");
+}
+
+} // namespace

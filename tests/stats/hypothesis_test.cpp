@@ -1,0 +1,129 @@
+#include "stats/hypothesis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rng/uniform.hpp"
+#include "rng/xoshiro256ss.hpp"
+#include "support/contracts.hpp"
+
+namespace {
+
+using kdc::stats::chi_square_gof;
+using kdc::stats::chi_square_uniform;
+using kdc::stats::dominance_probability;
+using kdc::stats::ks_two_sample;
+
+TEST(ChiSquare, PerfectFitHasHighPValue) {
+    const std::vector<std::uint64_t> observed{100, 100, 100, 100};
+    const auto result = chi_square_uniform(observed);
+    EXPECT_NEAR(result.statistic, 0.0, 1e-12);
+    EXPECT_GT(result.p_value, 0.99);
+}
+
+TEST(ChiSquare, GrossMisfitHasTinyPValue) {
+    const std::vector<std::uint64_t> observed{400, 0, 0, 0};
+    const auto result = chi_square_uniform(observed);
+    EXPECT_LT(result.p_value, 1e-6);
+}
+
+TEST(ChiSquare, HandComputedStatistic) {
+    // observed {30, 70}, expected uniform on 100: chi2 = 2*(20^2/50) = 16.
+    const std::vector<std::uint64_t> observed{30, 70};
+    const auto result = chi_square_uniform(observed);
+    EXPECT_NEAR(result.statistic, 16.0, 1e-9);
+    EXPECT_EQ(result.dof, 1.0);
+}
+
+TEST(ChiSquare, NonUniformExpectedProbabilities) {
+    const std::vector<std::uint64_t> observed{50, 25, 25};
+    const std::vector<double> probs{0.5, 0.25, 0.25};
+    const auto result = chi_square_gof(observed, probs);
+    EXPECT_NEAR(result.statistic, 0.0, 1e-12);
+}
+
+TEST(ChiSquare, SparseCellsArePooled) {
+    // Expected counts of 1 would break the asymptotics; pooling must absorb
+    // them without crashing or producing negative dof.
+    const std::vector<std::uint64_t> observed{3, 1, 0, 2, 0, 1, 200};
+    const std::vector<double> probs{0.005, 0.005, 0.005, 0.005,
+                                    0.005, 0.005, 0.97};
+    const auto result = chi_square_gof(observed, probs);
+    EXPECT_GE(result.dof, 1.0);
+    EXPECT_GE(result.p_value, 0.0);
+    EXPECT_LE(result.p_value, 1.0);
+}
+
+TEST(ChiSquare, SizeMismatchViolatesContract) {
+    const std::vector<std::uint64_t> observed{1, 2};
+    const std::vector<double> probs{1.0};
+    EXPECT_THROW((void)chi_square_gof(observed, probs),
+                 kdc::contract_violation);
+}
+
+TEST(KsTwoSample, IdenticalSamplesHaveZeroDistance) {
+    const std::vector<double> a{1.0, 2.0, 3.0, 4.0};
+    const auto result = ks_two_sample(a, a);
+    EXPECT_NEAR(result.statistic, 0.0, 1e-12);
+    EXPECT_GT(result.p_value, 0.99);
+}
+
+TEST(KsTwoSample, DisjointSamplesHaveDistanceOne) {
+    const std::vector<double> a{1.0, 2.0, 3.0};
+    const std::vector<double> b{10.0, 11.0, 12.0};
+    const auto result = ks_two_sample(a, b);
+    EXPECT_NEAR(result.statistic, 1.0, 1e-12);
+}
+
+TEST(KsTwoSample, SameDistributionAccepted) {
+    kdc::rng::xoshiro256ss gen(1);
+    std::vector<double> a;
+    std::vector<double> b;
+    for (int i = 0; i < 3000; ++i) {
+        a.push_back(kdc::rng::uniform_double(gen));
+        b.push_back(kdc::rng::uniform_double(gen));
+    }
+    const auto result = ks_two_sample(a, b);
+    EXPECT_GT(result.p_value, 1e-4);
+}
+
+TEST(KsTwoSample, ShiftedDistributionRejected) {
+    kdc::rng::xoshiro256ss gen(2);
+    std::vector<double> a;
+    std::vector<double> b;
+    for (int i = 0; i < 3000; ++i) {
+        a.push_back(kdc::rng::uniform_double(gen));
+        b.push_back(kdc::rng::uniform_double(gen) + 0.2);
+    }
+    const auto result = ks_two_sample(a, b);
+    EXPECT_LT(result.p_value, 1e-6);
+}
+
+TEST(KsTwoSample, EmptySampleViolatesContract) {
+    EXPECT_THROW((void)ks_two_sample({}, {1.0}), kdc::contract_violation);
+}
+
+TEST(Dominance, EqualSamplesGiveHalf) {
+    const std::vector<double> a{1.0, 2.0, 3.0};
+    EXPECT_DOUBLE_EQ(dominance_probability(a, a), 0.5);
+}
+
+TEST(Dominance, StrictOrderGivesOne) {
+    const std::vector<double> lo{1.0, 2.0};
+    const std::vector<double> hi{3.0, 4.0};
+    EXPECT_DOUBLE_EQ(dominance_probability(hi, lo), 1.0);
+    EXPECT_DOUBLE_EQ(dominance_probability(lo, hi), 0.0);
+}
+
+TEST(Dominance, HandComputedMixedCase) {
+    // a = {1, 3}, b = {2}: P(a > b) = 1/2, P(a == b) = 0 -> 0.5;
+    const std::vector<double> a{1.0, 3.0};
+    const std::vector<double> b{2.0};
+    EXPECT_DOUBLE_EQ(dominance_probability(a, b), 0.5);
+    // a = {2, 3}, b = {2}: one tie (0.5) + one win (1) over 2 pairs = 0.75.
+    const std::vector<double> c{2.0, 3.0};
+    EXPECT_DOUBLE_EQ(dominance_probability(c, b), 0.75);
+}
+
+} // namespace

@@ -1,0 +1,116 @@
+#include "stats/running_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "support/contracts.hpp"
+
+namespace {
+
+using kdc::stats::running_stats;
+
+TEST(RunningStats, MeanOfKnownSample) {
+    running_stats s;
+    for (const double x : {1.0, 2.0, 3.0, 4.0}) {
+        s.push(x);
+    }
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+}
+
+TEST(RunningStats, VarianceMatchesTwoPassFormula) {
+    const std::vector<double> sample{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    running_stats s;
+    double mean = 0.0;
+    for (const double x : sample) {
+        s.push(x);
+        mean += x;
+    }
+    mean /= static_cast<double>(sample.size());
+    double ss = 0.0;
+    for (const double x : sample) {
+        ss += (x - mean) * (x - mean);
+    }
+    EXPECT_NEAR(s.variance(), ss / (sample.size() - 1), 1e-12);
+    EXPECT_NEAR(s.population_variance(), ss / sample.size(), 1e-12);
+    EXPECT_NEAR(s.stddev(), std::sqrt(ss / (sample.size() - 1)), 1e-12);
+}
+
+TEST(RunningStats, MinMaxTracked) {
+    running_stats s;
+    for (const double x : {3.0, -1.0, 7.0, 2.0}) {
+        s.push(x);
+    }
+    EXPECT_DOUBLE_EQ(s.min(), -1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 7.0);
+}
+
+TEST(RunningStats, EmptyAccessorsViolateContract) {
+    const running_stats s;
+    EXPECT_THROW((void)s.mean(), kdc::contract_violation);
+    EXPECT_THROW((void)s.min(), kdc::contract_violation);
+    EXPECT_THROW((void)s.max(), kdc::contract_violation);
+}
+
+TEST(RunningStats, VarianceNeedsTwoSamples) {
+    running_stats s;
+    s.push(1.0);
+    EXPECT_THROW((void)s.variance(), kdc::contract_violation);
+    EXPECT_NO_THROW((void)s.population_variance());
+}
+
+TEST(RunningStats, NumericallyStableForLargeOffset) {
+    // Naive sum-of-squares catastrophically cancels here; Welford must not.
+    running_stats s;
+    const double offset = 1e9;
+    for (const double x : {offset + 4.0, offset + 7.0, offset + 13.0,
+                           offset + 16.0}) {
+        s.push(x);
+    }
+    EXPECT_NEAR(s.variance(), 30.0, 1e-6);
+}
+
+TEST(RunningStats, MergeEqualsSequentialPush) {
+    running_stats all;
+    running_stats left;
+    running_stats right;
+    for (int i = 0; i < 100; ++i) {
+        const double x = std::sin(i) * 10.0;
+        all.push(x);
+        (i < 37 ? left : right).push(x);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), all.count());
+    EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(left.min(), all.min());
+    EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+    running_stats s;
+    s.push(5.0);
+    s.push(6.0);
+    running_stats empty;
+    s.merge(empty);
+    EXPECT_EQ(s.count(), 2u);
+    empty.merge(s);
+    EXPECT_EQ(empty.count(), 2u);
+    EXPECT_DOUBLE_EQ(empty.mean(), 5.5);
+}
+
+TEST(RunningStats, CiHalfwidthShrinksWithSamples) {
+    running_stats small;
+    running_stats large;
+    for (int i = 0; i < 10; ++i) {
+        small.push(i % 2 == 0 ? 1.0 : 2.0);
+    }
+    for (int i = 0; i < 1000; ++i) {
+        large.push(i % 2 == 0 ? 1.0 : 2.0);
+    }
+    EXPECT_GT(small.mean_ci_halfwidth(), large.mean_ci_halfwidth());
+}
+
+} // namespace

@@ -1,0 +1,116 @@
+#include "stats/special_functions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/contracts.hpp"
+
+namespace {
+
+using kdc::stats::chi_square_cdf;
+using kdc::stats::kolmogorov_q;
+using kdc::stats::log_factorial;
+using kdc::stats::regularized_gamma_p;
+using kdc::stats::regularized_gamma_q;
+using kdc::stats::smallest_factorial_exceeding_log;
+
+TEST(RegularizedGamma, BoundaryValues) {
+    EXPECT_DOUBLE_EQ(regularized_gamma_p(1.0, 0.0), 0.0);
+    EXPECT_NEAR(regularized_gamma_p(1.0, 1000.0), 1.0, 1e-12);
+}
+
+TEST(RegularizedGamma, ExponentialSpecialCase) {
+    // P(1, x) = 1 - e^{-x}.
+    for (const double x : {0.1, 0.5, 1.0, 2.0, 5.0, 10.0}) {
+        EXPECT_NEAR(regularized_gamma_p(1.0, x), 1.0 - std::exp(-x), 1e-10)
+            << "x=" << x;
+    }
+}
+
+TEST(RegularizedGamma, HalfIntegerMatchesErf) {
+    // P(1/2, x) = erf(sqrt(x)).
+    for (const double x : {0.25, 1.0, 2.25, 4.0}) {
+        EXPECT_NEAR(regularized_gamma_p(0.5, x), std::erf(std::sqrt(x)), 1e-10)
+            << "x=" << x;
+    }
+}
+
+TEST(RegularizedGamma, PPlusQIsOne) {
+    for (const double a : {0.5, 1.0, 3.0, 10.0}) {
+        for (const double x : {0.1, 1.0, 5.0, 20.0}) {
+            EXPECT_NEAR(regularized_gamma_p(a, x) + regularized_gamma_q(a, x),
+                        1.0, 1e-12);
+        }
+    }
+}
+
+TEST(RegularizedGamma, MonotoneInX) {
+    double prev = 0.0;
+    for (double x = 0.0; x <= 10.0; x += 0.5) {
+        const double p = regularized_gamma_p(3.0, x);
+        EXPECT_GE(p, prev);
+        prev = p;
+    }
+}
+
+TEST(RegularizedGamma, InvalidInputsViolateContract) {
+    EXPECT_THROW((void)regularized_gamma_p(0.0, 1.0),
+                 kdc::contract_violation);
+    EXPECT_THROW((void)regularized_gamma_p(1.0, -1.0),
+                 kdc::contract_violation);
+}
+
+TEST(ChiSquareCdf, KnownQuantiles) {
+    // chi^2_1: P(X <= 3.841) ~ 0.95; chi^2_5: P(X <= 11.070) ~ 0.95.
+    EXPECT_NEAR(chi_square_cdf(3.841, 1.0), 0.95, 1e-3);
+    EXPECT_NEAR(chi_square_cdf(11.070, 5.0), 0.95, 1e-3);
+    // Median of chi^2_2 is 2 ln 2.
+    EXPECT_NEAR(chi_square_cdf(2.0 * std::log(2.0), 2.0), 0.5, 1e-10);
+}
+
+TEST(ChiSquareCdf, ZeroAndNegative) {
+    EXPECT_DOUBLE_EQ(chi_square_cdf(0.0, 3.0), 0.0);
+    EXPECT_DOUBLE_EQ(chi_square_cdf(-5.0, 3.0), 0.0);
+}
+
+TEST(KolmogorovQ, KnownValues) {
+    EXPECT_DOUBLE_EQ(kolmogorov_q(0.0), 1.0);
+    // Q(1.36) ~ 0.049 (the classic 5% critical value).
+    EXPECT_NEAR(kolmogorov_q(1.36), 0.049, 2e-3);
+    EXPECT_LT(kolmogorov_q(2.0), 1e-3);
+}
+
+TEST(KolmogorovQ, MonotoneDecreasing) {
+    double prev = 1.0;
+    for (double lambda = 0.1; lambda <= 3.0; lambda += 0.1) {
+        const double q = kolmogorov_q(lambda);
+        EXPECT_LE(q, prev + 1e-12);
+        prev = q;
+    }
+}
+
+TEST(LogFactorial, SmallExactValues) {
+    EXPECT_NEAR(log_factorial(0), 0.0, 1e-12);
+    EXPECT_NEAR(log_factorial(1), 0.0, 1e-12);
+    EXPECT_NEAR(log_factorial(5), std::log(120.0), 1e-10);
+    EXPECT_NEAR(log_factorial(10), std::log(3628800.0), 1e-9);
+}
+
+TEST(SmallestFactorialExceeding, InvertsFactorial) {
+    // smallest y with y! > 100: 5! = 120 > 100, 4! = 24 <= 100.
+    EXPECT_EQ(smallest_factorial_exceeding_log(std::log(100.0)), 5u);
+    // smallest y with y! > 1: 2 (since 0! = 1! = 1).
+    EXPECT_EQ(smallest_factorial_exceeding_log(0.0), 2u);
+    // y! > 0.5: even 0! = 1 exceeds it.
+    EXPECT_EQ(smallest_factorial_exceeding_log(std::log(0.5)), 0u);
+}
+
+TEST(SmallestFactorialExceeding, AgreesWithBruteForce) {
+    double log_bound = std::log(48.0 * 7.0); // a Theorem 3 style bound
+    const auto y = smallest_factorial_exceeding_log(log_bound);
+    EXPECT_GT(log_factorial(y), log_bound);
+    EXPECT_LE(log_factorial(y - 1), log_bound);
+}
+
+} // namespace

@@ -1,0 +1,66 @@
+#include "stats/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/contracts.hpp"
+
+namespace {
+
+using kdc::stats::sample_summary;
+using kdc::stats::sorted_quantile;
+using kdc::stats::summarize;
+
+TEST(Summarize, KnownSample) {
+    const auto s = summarize({4.0, 1.0, 3.0, 2.0});
+    EXPECT_EQ(s.count, 4u);
+    EXPECT_DOUBLE_EQ(s.mean, 2.5);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 4.0);
+    EXPECT_DOUBLE_EQ(s.median, 2.0); // nearest-rank: ceil(0.5*4) = rank 2
+}
+
+TEST(Summarize, SingleElement) {
+    const auto s = summarize({7.0});
+    EXPECT_EQ(s.count, 1u);
+    EXPECT_DOUBLE_EQ(s.mean, 7.0);
+    EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+    EXPECT_DOUBLE_EQ(s.median, 7.0);
+    EXPECT_DOUBLE_EQ(s.p99, 7.0);
+}
+
+TEST(Summarize, EmptyViolatesContract) {
+    EXPECT_THROW((void)summarize({}), kdc::contract_violation);
+}
+
+TEST(Summarize, PercentilesOrdered) {
+    std::vector<double> sample;
+    for (int i = 1; i <= 1000; ++i) {
+        sample.push_back(static_cast<double>(i));
+    }
+    const auto s = summarize(sample);
+    EXPECT_LE(s.median, s.p95);
+    EXPECT_LE(s.p95, s.p99);
+    EXPECT_LE(s.p99, s.max);
+    EXPECT_DOUBLE_EQ(s.p95, 950.0);
+    EXPECT_DOUBLE_EQ(s.p99, 990.0);
+}
+
+TEST(SortedQuantile, EdgeProbabilities) {
+    const std::vector<double> sorted{1.0, 2.0, 3.0, 4.0, 5.0};
+    EXPECT_DOUBLE_EQ(sorted_quantile(sorted, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(sorted_quantile(sorted, 1.0), 5.0);
+    EXPECT_DOUBLE_EQ(sorted_quantile(sorted, 0.5), 3.0);
+}
+
+TEST(SortedQuantile, UnsortedInputViolatesContract) {
+    const std::vector<double> unsorted{3.0, 1.0};
+    EXPECT_THROW((void)sorted_quantile(unsorted, 0.5),
+                 kdc::contract_violation);
+}
+
+TEST(SortedQuantile, OutOfRangePViolatesContract) {
+    const std::vector<double> sorted{1.0};
+    EXPECT_THROW((void)sorted_quantile(sorted, 1.5), kdc::contract_violation);
+}
+
+} // namespace

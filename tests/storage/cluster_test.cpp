@@ -1,0 +1,174 @@
+#include "storage/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "core/metrics.hpp"
+#include "support/contracts.hpp"
+
+namespace {
+
+using kdc::core::compute_load_metrics;
+using kdc::storage::placement_policy;
+using kdc::storage::storage_cluster;
+using kdc::storage::storage_config;
+
+storage_config base_config(placement_policy policy) {
+    storage_config config;
+    config.servers = 256;
+    config.replicas_per_file = 3;
+    config.probes = 6;
+    config.policy = policy;
+    config.seed = 1;
+    return config;
+}
+
+TEST(StorageConfig, ValidatesParameters) {
+    auto config = base_config(placement_policy::kd_choice);
+    config.probes = 3; // == replicas, need strictly more for batch policies
+    EXPECT_THROW(config.validate(), kdc::contract_violation);
+
+    config = base_config(placement_policy::per_replica_d_choice);
+    config.probes = 2; // fine per replica
+    EXPECT_NO_THROW(config.validate());
+
+    config = base_config(placement_policy::kd_choice);
+    config.probes = 500; // > servers
+    EXPECT_THROW(config.validate(), kdc::contract_violation);
+}
+
+TEST(StorageCluster, PlacesExpectedReplicaCount) {
+    storage_cluster cluster(base_config(placement_policy::kd_choice));
+    cluster.place_files(100);
+    EXPECT_EQ(cluster.files_placed(), 100u);
+    const auto& loads = cluster.server_loads();
+    EXPECT_EQ(std::accumulate(loads.begin(), loads.end(), std::uint64_t{0}),
+              300u);
+}
+
+TEST(StorageCluster, KdPlacementHonorsMultiplicityRule) {
+    storage_cluster cluster(base_config(placement_policy::kd_choice));
+    for (int i = 0; i < 200; ++i) {
+        const auto id = cluster.place_file();
+        const auto& placement = cluster.placement(id);
+        ASSERT_EQ(placement.replicas.size(), 3u);
+        ASSERT_EQ(placement.candidates.size(), 6u);
+        // Each replica server must appear among the candidates, at most as
+        // often as it was sampled.
+        for (const auto server : placement.replicas) {
+            const auto sampled = std::count(placement.candidates.begin(),
+                                            placement.candidates.end(),
+                                            server);
+            const auto placed = std::count(placement.replicas.begin(),
+                                           placement.replicas.end(), server);
+            EXPECT_GE(sampled, placed);
+        }
+    }
+}
+
+TEST(StorageCluster, PlacementMessagesPerPolicy) {
+    {
+        storage_cluster cluster(base_config(placement_policy::kd_choice));
+        cluster.place_files(50);
+        EXPECT_EQ(cluster.placement_messages(), 50u * 6u);
+    }
+    {
+        auto config = base_config(placement_policy::per_replica_d_choice);
+        config.probes = 2;
+        storage_cluster cluster(config);
+        cluster.place_files(50);
+        EXPECT_EQ(cluster.placement_messages(), 50u * 3u * 2u);
+    }
+    {
+        storage_cluster cluster(base_config(placement_policy::random));
+        cluster.place_files(50);
+        EXPECT_EQ(cluster.placement_messages(), 50u * 3u);
+    }
+}
+
+TEST(StorageCluster, SearchCostMatchesPaperClaim) {
+    // (k, k+1)-choice: search costs k+1 probes; per-chunk two-choice costs
+    // 2k (Section 1.3).
+    auto kd_config = base_config(placement_policy::kd_choice);
+    kd_config.replicas_per_file = 4;
+    kd_config.probes = 5; // d = k+1
+    storage_cluster kd(kd_config);
+    const auto kd_file = kd.place_file();
+    EXPECT_EQ(kd.search_cost(kd_file), 5u);
+
+    auto two_config = base_config(placement_policy::per_replica_d_choice);
+    two_config.replicas_per_file = 4;
+    two_config.probes = 2;
+    storage_cluster two(two_config);
+    const auto two_file = two.place_file();
+    EXPECT_EQ(two.search_cost(two_file), 8u); // 2k
+}
+
+TEST(StorageCluster, KdBalancesBetterThanRandom) {
+    auto kd_config = base_config(placement_policy::kd_choice);
+    auto rnd_config = base_config(placement_policy::random);
+    storage_cluster kd(kd_config);
+    storage_cluster rnd(rnd_config);
+    kd.place_files(2000);
+    rnd.place_files(2000);
+    EXPECT_LT(compute_load_metrics(kd.server_loads()).max_load,
+              compute_load_metrics(rnd.server_loads()).max_load);
+}
+
+TEST(StorageCluster, DeterministicUnderSeed) {
+    storage_cluster a(base_config(placement_policy::kd_choice));
+    storage_cluster b(base_config(placement_policy::kd_choice));
+    a.place_files(100);
+    b.place_files(100);
+    EXPECT_EQ(a.server_loads(), b.server_loads());
+}
+
+TEST(StorageCluster, AvailabilityReplicationVsChunking) {
+    storage_cluster cluster(base_config(placement_policy::kd_choice));
+    cluster.place_files(200);
+    const double repl =
+        cluster.estimate_availability(0.1, /*need_all=*/false, 50, 7);
+    const double chunk =
+        cluster.estimate_availability(0.1, /*need_all=*/true, 50, 7);
+    // Replication survives any single replica; chunking needs all three.
+    EXPECT_GT(repl, chunk);
+    // Sanity against the analytic values: 1 - 0.1^3 ~ 0.999 for distinct
+    // servers (duplicate-replica placements can only lower it slightly);
+    // 0.9^3 = 0.729 for chunking.
+    EXPECT_GT(repl, 0.99);
+    EXPECT_NEAR(chunk, 0.729, 0.05);
+}
+
+TEST(StorageCluster, AvailabilityAtZeroAndOneFailureProb) {
+    storage_cluster cluster(base_config(placement_policy::kd_choice));
+    cluster.place_files(10);
+    EXPECT_DOUBLE_EQ(cluster.estimate_availability(0.0, true, 5, 1), 1.0);
+    EXPECT_DOUBLE_EQ(cluster.estimate_availability(1.0, false, 5, 1), 0.0);
+}
+
+TEST(StorageCluster, AvailabilityRequiresPlacedFiles) {
+    storage_cluster cluster(base_config(placement_policy::kd_choice));
+    EXPECT_THROW((void)cluster.estimate_availability(0.1, false, 5, 1),
+                 kdc::contract_violation);
+}
+
+TEST(StorageCluster, BatchGreedySpreadsLoad) {
+    storage_cluster greedy(base_config(placement_policy::batch_greedy));
+    greedy.place_files(2000);
+    storage_cluster rnd(base_config(placement_policy::random));
+    rnd.place_files(2000);
+    EXPECT_LE(compute_load_metrics(greedy.server_loads()).max_load,
+              compute_load_metrics(rnd.server_loads()).max_load);
+}
+
+TEST(StorageCluster, PlacementAccessorBoundsChecked) {
+    storage_cluster cluster(base_config(placement_policy::kd_choice));
+    (void)cluster.place_file();
+    EXPECT_NO_THROW((void)cluster.placement(0));
+    EXPECT_THROW((void)cluster.placement(1), kdc::contract_violation);
+}
+
+} // namespace

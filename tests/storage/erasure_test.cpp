@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "storage/cluster.hpp"
+#include "support/contracts.hpp"
+
+namespace {
+
+using kdc::storage::placement_policy;
+using kdc::storage::storage_cluster;
+using kdc::storage::storage_config;
+
+storage_cluster make_cluster(std::uint64_t chunks, std::uint64_t probes) {
+    storage_config config;
+    config.servers = 512;
+    config.replicas_per_file = chunks;
+    config.probes = probes;
+    config.policy = placement_policy::kd_choice;
+    config.seed = 3;
+    storage_cluster cluster(config);
+    cluster.place_files(300);
+    return cluster;
+}
+
+TEST(ErasureAvailability, MonotoneInThreshold) {
+    // Requiring more alive chunks can only hurt availability.
+    auto cluster = make_cluster(5, 8);
+    double prev = 1.1;
+    for (std::uint64_t need = 1; need <= 5; ++need) {
+        const double avail =
+            cluster.estimate_availability_erasure(0.1, need, 30, 11);
+        EXPECT_LE(avail, prev + 1e-12) << "need=" << need;
+        prev = avail;
+    }
+}
+
+TEST(ErasureAvailability, ExtremesMatchReplicationAndChunking) {
+    auto cluster = make_cluster(4, 6);
+    EXPECT_DOUBLE_EQ(
+        cluster.estimate_availability_erasure(0.2, 1, 25, 7),
+        cluster.estimate_availability(0.2, /*need_all=*/false, 25, 7));
+    EXPECT_DOUBLE_EQ(
+        cluster.estimate_availability_erasure(0.2, 4, 25, 7),
+        cluster.estimate_availability(0.2, /*need_all=*/true, 25, 7));
+}
+
+TEST(ErasureAvailability, MatchesBinomialForDistinctServers) {
+    // With k = 3 chunks on (almost surely) distinct servers and failure
+    // probability p, availability at threshold 2 is P(Bin(3, 1-p) >= 2).
+    auto cluster = make_cluster(3, 6);
+    const double p = 0.1;
+    const double q = 1.0 - p;
+    const double analytic = q * q * q + 3.0 * q * q * p;
+    const double measured =
+        cluster.estimate_availability_erasure(p, 2, 60, 13);
+    EXPECT_NEAR(measured, analytic, 0.02);
+}
+
+TEST(ErasureAvailability, CodingBeatsPlainChunkingAtSameOverhead) {
+    // 4-of-6 erasure coding vs 1-of-1... the economically honest comparison
+    // in this model: 6 chunks requiring 4 survives more than 6 chunks
+    // requiring all 6 (plain chunking of a 6-way split).
+    auto cluster = make_cluster(6, 8);
+    const double coded =
+        cluster.estimate_availability_erasure(0.1, 4, 30, 17);
+    const double plain =
+        cluster.estimate_availability_erasure(0.1, 6, 30, 17);
+    EXPECT_GT(coded, plain);
+}
+
+TEST(ErasureAvailability, ThresholdBoundsChecked) {
+    auto cluster = make_cluster(3, 5);
+    EXPECT_THROW(
+        (void)cluster.estimate_availability_erasure(0.1, 0, 10, 1),
+        kdc::contract_violation);
+    EXPECT_THROW(
+        (void)cluster.estimate_availability_erasure(0.1, 4, 10, 1),
+        kdc::contract_violation);
+}
+
+} // namespace

@@ -1,0 +1,119 @@
+#include "support/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "support/contracts.hpp"
+
+namespace {
+
+using kdc::arg_parser;
+using kdc::cli_error;
+
+TEST(ArgParser, DefaultsApplyWhenAbsent) {
+    arg_parser parser;
+    parser.add_option("n", "1024", "bins");
+    const std::array argv{"prog"};
+    ASSERT_TRUE(parser.parse(static_cast<int>(argv.size()), argv.data()));
+    EXPECT_EQ(parser.get_int("n"), 1024);
+}
+
+TEST(ArgParser, ParsesKeyValue) {
+    arg_parser parser;
+    parser.add_option("n", "1024", "bins");
+    parser.add_option("label", "none", "text");
+    const std::array argv{"prog", "--n=65536", "--label=table1"};
+    ASSERT_TRUE(parser.parse(static_cast<int>(argv.size()), argv.data()));
+    EXPECT_EQ(parser.get_int("n"), 65536);
+    EXPECT_EQ(parser.get_string("label"), "table1");
+}
+
+TEST(ArgParser, ParsesDouble) {
+    arg_parser parser;
+    parser.add_option("beta", "0.5", "mix");
+    const std::array argv{"prog", "--beta=0.25"};
+    ASSERT_TRUE(parser.parse(static_cast<int>(argv.size()), argv.data()));
+    EXPECT_DOUBLE_EQ(parser.get_double("beta"), 0.25);
+}
+
+TEST(ArgParser, FlagDefaultsFalseAndSetsTrue) {
+    arg_parser parser;
+    parser.add_flag("csv", "emit csv");
+    {
+        const std::array argv{"prog"};
+        arg_parser fresh = parser;
+        ASSERT_TRUE(fresh.parse(static_cast<int>(argv.size()), argv.data()));
+        EXPECT_FALSE(fresh.get_flag("csv"));
+    }
+    {
+        const std::array argv{"prog", "--csv"};
+        ASSERT_TRUE(parser.parse(static_cast<int>(argv.size()), argv.data()));
+        EXPECT_TRUE(parser.get_flag("csv"));
+    }
+}
+
+TEST(ArgParser, UnknownOptionThrows) {
+    arg_parser parser;
+    parser.add_option("n", "1", "bins");
+    const std::array argv{"prog", "--typo=3"};
+    EXPECT_THROW((void)parser.parse(static_cast<int>(argv.size()), argv.data()),
+                 cli_error);
+}
+
+TEST(ArgParser, MalformedIntThrows) {
+    arg_parser parser;
+    parser.add_option("n", "1", "bins");
+    const std::array argv{"prog", "--n=abc"};
+    ASSERT_TRUE(parser.parse(static_cast<int>(argv.size()), argv.data()));
+    EXPECT_THROW((void)parser.get_int("n"), cli_error);
+}
+
+TEST(ArgParser, OptionWithoutValueThrows) {
+    arg_parser parser;
+    parser.add_option("n", "1", "bins");
+    const std::array argv{"prog", "--n"};
+    EXPECT_THROW((void)parser.parse(static_cast<int>(argv.size()), argv.data()),
+                 cli_error);
+}
+
+TEST(ArgParser, FlagWithValueThrows) {
+    arg_parser parser;
+    parser.add_flag("csv", "emit csv");
+    const std::array argv{"prog", "--csv=yes"};
+    EXPECT_THROW((void)parser.parse(static_cast<int>(argv.size()), argv.data()),
+                 cli_error);
+}
+
+TEST(ArgParser, PositionalArgumentsCollected) {
+    arg_parser parser;
+    const std::array argv{"prog", "input.csv", "output.csv"};
+    ASSERT_TRUE(parser.parse(static_cast<int>(argv.size()), argv.data()));
+    ASSERT_EQ(parser.positional().size(), 2u);
+    EXPECT_EQ(parser.positional()[0], "input.csv");
+}
+
+TEST(ArgParser, HelpReturnsFalse) {
+    arg_parser parser;
+    parser.add_option("n", "1", "bins");
+    const std::array argv{"prog", "--help"};
+    testing::internal::CaptureStdout();
+    EXPECT_FALSE(parser.parse(static_cast<int>(argv.size()), argv.data()));
+    const std::string help = testing::internal::GetCapturedStdout();
+    EXPECT_NE(help.find("--n"), std::string::npos);
+}
+
+TEST(ArgParser, UndeclaredGetViolatesContract) {
+    arg_parser parser;
+    EXPECT_THROW((void)parser.get_string("nope"), kdc::contract_violation);
+}
+
+TEST(ArgParser, UsageListsDefaults) {
+    arg_parser parser;
+    parser.add_option("reps", "10", "repetitions");
+    const std::string usage = parser.usage("prog");
+    EXPECT_NE(usage.find("default: 10"), std::string::npos);
+    EXPECT_NE(usage.find("repetitions"), std::string::npos);
+}
+
+} // namespace

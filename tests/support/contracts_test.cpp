@@ -1,0 +1,72 @@
+#include "support/contracts.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace {
+
+TEST(Contracts, ExpectsPassesWhenConditionHolds) {
+    EXPECT_NO_THROW(KD_EXPECTS(1 + 1 == 2));
+}
+
+TEST(Contracts, ExpectsThrowsContractViolation) {
+    EXPECT_THROW(KD_EXPECTS(false), kdc::contract_violation);
+}
+
+TEST(Contracts, EnsuresThrowsContractViolation) {
+    EXPECT_THROW(KD_ENSURES(false), kdc::contract_violation);
+}
+
+TEST(Contracts, AssertThrowsContractViolation) {
+    EXPECT_THROW(KD_ASSERT(false), kdc::contract_violation);
+}
+
+TEST(Contracts, ViolationIsALogicError) {
+    EXPECT_THROW(KD_EXPECTS(false), std::logic_error);
+}
+
+TEST(Contracts, MessageNamesTheKindAndCondition) {
+    try {
+        KD_EXPECTS(2 < 1);
+        FAIL() << "should have thrown";
+    } catch (const kdc::contract_violation& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("precondition"), std::string::npos);
+        EXPECT_NE(what.find("2 < 1"), std::string::npos);
+        EXPECT_NE(what.find("contracts_test.cpp"), std::string::npos);
+    }
+}
+
+TEST(Contracts, MessageIncludesUserText) {
+    try {
+        KD_EXPECTS_MSG(false, "k must divide n");
+        FAIL() << "should have thrown";
+    } catch (const kdc::contract_violation& e) {
+        EXPECT_NE(std::string(e.what()).find("k must divide n"),
+                  std::string::npos);
+    }
+}
+
+TEST(Contracts, EnsuresMessageNamesPostcondition) {
+    try {
+        KD_ENSURES_MSG(false, "output sorted");
+        FAIL() << "should have thrown";
+    } catch (const kdc::contract_violation& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("postcondition"), std::string::npos);
+        EXPECT_NE(what.find("output sorted"), std::string::npos);
+    }
+}
+
+TEST(Contracts, ConditionIsEvaluatedExactlyOnce) {
+    int calls = 0;
+    auto count = [&calls] {
+        ++calls;
+        return true;
+    };
+    KD_EXPECTS(count());
+    EXPECT_EQ(calls, 1);
+}
+
+} // namespace

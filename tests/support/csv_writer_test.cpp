@@ -1,0 +1,60 @@
+#include "support/csv_writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace {
+
+using kdc::csv_escape;
+using kdc::csv_writer;
+
+TEST(CsvEscape, PlainFieldUnchanged) {
+    EXPECT_EQ(csv_escape("hello"), "hello");
+    EXPECT_EQ(csv_escape("123.45"), "123.45");
+    EXPECT_EQ(csv_escape(""), "");
+}
+
+TEST(CsvEscape, CommaTriggersQuoting) {
+    EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+}
+
+TEST(CsvEscape, EmbeddedQuotesAreDoubled) {
+    EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvEscape, NewlineTriggersQuoting) {
+    EXPECT_EQ(csv_escape("line1\nline2"), "\"line1\nline2\"");
+}
+
+TEST(CsvWriter, WritesCommaSeparatedRows) {
+    std::ostringstream out;
+    csv_writer writer(out);
+    writer.write_row({"k", "d", "max_load"});
+    writer.write_row({"2", "3", "4"});
+    EXPECT_EQ(out.str(), "k,d,max_load\n2,3,4\n");
+    EXPECT_EQ(writer.rows_written(), 2u);
+}
+
+TEST(CsvWriter, EscapesFieldsInRows) {
+    std::ostringstream out;
+    csv_writer writer(out);
+    writer.write_row({"set", "7, 8, 9"});
+    EXPECT_EQ(out.str(), "set,\"7, 8, 9\"\n");
+}
+
+TEST(CsvWriter, VectorOverload) {
+    std::ostringstream out;
+    csv_writer writer(out);
+    writer.write_row(std::vector<std::string>{"a", "b"});
+    EXPECT_EQ(out.str(), "a,b\n");
+}
+
+TEST(CsvWriter, EmptyRowProducesBlankLine) {
+    std::ostringstream out;
+    csv_writer writer(out);
+    writer.write_row(std::vector<std::string>{});
+    EXPECT_EQ(out.str(), "\n");
+}
+
+} // namespace

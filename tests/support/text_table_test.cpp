@@ -1,0 +1,98 @@
+#include "support/text_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/contracts.hpp"
+
+namespace {
+
+using kdc::text_table;
+
+TEST(TextTable, RendersHeaderAndRows) {
+    text_table table;
+    table.set_header({"k", "d", "max"});
+    table.add_row({"1", "2", "4"});
+    table.add_row({"128", "193", "2"});
+    const std::string out = table.to_string();
+    EXPECT_NE(out.find("k"), std::string::npos);
+    EXPECT_NE(out.find("128"), std::string::npos);
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTable, ColumnsAlignAcrossRows) {
+    text_table table;
+    table.set_header({"name", "value"});
+    table.add_row({"a", "1"});
+    table.add_row({"long-name", "22"});
+    std::istringstream lines(table.to_string());
+    std::string header;
+    std::string sep;
+    std::string row1;
+    std::string row2;
+    std::getline(lines, header);
+    std::getline(lines, sep);
+    std::getline(lines, row1);
+    std::getline(lines, row2);
+    EXPECT_EQ(row1.size(), row2.size());
+    EXPECT_EQ(header.size(), row2.size());
+}
+
+TEST(TextTable, RightAlignsNumericColumnsByDefault) {
+    text_table table;
+    table.set_header({"param", "value"});
+    table.add_row({"n", "5"});
+    const std::string out = table.to_string();
+    // "value" is 5 wide; the single digit should be right-aligned under it.
+    EXPECT_NE(out.find("    5"), std::string::npos);
+}
+
+TEST(TextTable, LeftAlignOverride) {
+    text_table table;
+    table.set_header({"a", "b"});
+    table.set_align(1, kdc::table_align::left);
+    table.add_row({"x", "y"});
+    std::istringstream lines(table.to_string());
+    std::string header;
+    std::string sep;
+    std::string row;
+    std::getline(lines, header);
+    std::getline(lines, sep);
+    std::getline(lines, row);
+    EXPECT_EQ(row.substr(0, 4), "x  y");
+}
+
+TEST(TextTable, RaggedRowsRenderEmptyCells) {
+    text_table table;
+    table.set_header({"a", "b", "c"});
+    table.add_row({"1"});
+    EXPECT_NO_THROW((void)table.to_string());
+    EXPECT_EQ(table.row_count(), 1u);
+}
+
+TEST(TextTable, StreamsViaOperator) {
+    text_table table;
+    table.set_header({"x"});
+    table.add_row({"42"});
+    std::ostringstream out;
+    out << table;
+    EXPECT_EQ(out.str(), table.to_string());
+}
+
+TEST(FormatHelpers, FixedPrecision) {
+    EXPECT_EQ(kdc::format_fixed(3.14159, 2), "3.14");
+    EXPECT_EQ(kdc::format_fixed(2.0, 0), "2");
+    EXPECT_EQ(kdc::format_fixed(-0.5, 1), "-0.5");
+}
+
+TEST(FormatHelpers, GeneralStripsTrailingNoise) {
+    EXPECT_EQ(kdc::format_general(2.5), "2.5");
+    EXPECT_EQ(kdc::format_general(1234.5678, 6), "1234.57");
+}
+
+TEST(FormatHelpers, FixedRejectsNegativePrecision) {
+    EXPECT_THROW((void)kdc::format_fixed(1.0, -1), kdc::contract_violation);
+}
+
+} // namespace

@@ -1,0 +1,195 @@
+#include "theory/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/contracts.hpp"
+
+namespace {
+
+using namespace kdc::theory;
+
+constexpr std::uint64_t table1_n = 3ULL << 16; // the paper's n = 3 * 2^16
+
+TEST(KdParams, ValidatesPaperConstraints) {
+    kd_params ok{.n = 12, .k = 2, .d = 3};
+    EXPECT_NO_THROW(ok.validate());
+
+    kd_params k_not_less_than_d{.n = 12, .k = 3, .d = 3};
+    EXPECT_THROW(k_not_less_than_d.validate(), kdc::contract_violation);
+
+    kd_params d_exceeds_n{.n = 4, .k = 1, .d = 5};
+    EXPECT_THROW(d_exceeds_n.validate(), kdc::contract_violation);
+
+    kd_params k_does_not_divide_n{.n = 10, .k = 3, .d = 4};
+    EXPECT_THROW(k_does_not_divide_n.validate(), kdc::contract_violation);
+}
+
+TEST(DkRatio, MatchesDefinition) {
+    EXPECT_DOUBLE_EQ(dk_ratio(1, 2), 2.0);
+    EXPECT_DOUBLE_EQ(dk_ratio(2, 3), 3.0);
+    EXPECT_DOUBLE_EQ(dk_ratio(128, 193), 193.0 / 65.0);
+    EXPECT_DOUBLE_EQ(dk_ratio(192, 193), 193.0);
+}
+
+TEST(DkRatio, RequiresKLessThanD) {
+    EXPECT_THROW((void)dk_ratio(3, 3), kdc::contract_violation);
+}
+
+TEST(FirstTerm, MatchesClosedForm) {
+    const double expected =
+        std::log(std::log(static_cast<double>(table1_n))) / std::log(2.0);
+    EXPECT_NEAR(first_term(table1_n, 1, 2), expected, 1e-12);
+}
+
+TEST(FirstTerm, DecreasesInD) {
+    double prev = 1e300;
+    for (std::uint64_t d = 2; d <= 100; d += 7) {
+        const double term = first_term(table1_n, 1, d);
+        EXPECT_LT(term, prev);
+        prev = term;
+    }
+}
+
+TEST(FirstTerm, KeepingDMinusKFixedKeepsFirstTermFixed) {
+    // The first term depends on (k,d) only through d-k.
+    EXPECT_DOUBLE_EQ(first_term(table1_n, 1, 9),
+                     first_term(table1_n, 92, 100));
+}
+
+TEST(SecondTerm, SmallDkGivesZero) {
+    EXPECT_DOUBLE_EQ(second_term(1, 2), 0.0); // dk = 2 < e
+}
+
+TEST(SecondTerm, GrowsWithDk) {
+    // dk = 193 vs dk = 193/65.
+    EXPECT_GT(second_term(192, 193), second_term(128, 193));
+}
+
+TEST(Theorem1Bound, SingleChoiceLimitRecoversLnOverLnLn) {
+    // k = d-1 with d = n gives dk = n, so the Corollary 1 term
+    // ln dk / ln ln dk is *exactly* the single-choice law ln n / ln ln n —
+    // the paper's consistency check in Section 1.1.
+    const std::uint64_t n = 1 << 20;
+    EXPECT_NEAR(second_term(n - 1, n), single_choice_max_load(n), 1e-9);
+}
+
+TEST(Theorem1Bound, DChoiceLimitRecoversAzar) {
+    const auto pred = theorem1_bound(table1_n, 1, 5);
+    EXPECT_TRUE(pred.dk_small);
+    EXPECT_NEAR(pred.total, d_choice_max_load(table1_n, 5), 1e-12);
+}
+
+TEST(Theorem2Bound, SandwichOrdered) {
+    const auto pred = theorem2_bound(table1_n, 3, 12);
+    EXPECT_LE(pred.lower, pred.upper);
+}
+
+TEST(Theorem2Bound, RequiresDAtLeastTwoK) {
+    EXPECT_THROW((void)theorem2_bound(table1_n, 8, 9),
+                 kdc::contract_violation);
+}
+
+TEST(Theorem2Bound, ExactWhenDIsMultipleOfK) {
+    // floor(d/k) = d/k and d-k+1 vs d/k: with k=1 both bounds collapse to
+    // the d-choice law when d-k+1 == d.
+    const auto pred = theorem2_bound(table1_n, 1, 2);
+    EXPECT_NEAR(pred.lower, pred.upper, 1e-12);
+}
+
+TEST(Landmarks, MatchDefinitions) {
+    EXPECT_DOUBLE_EQ(beta0_landmark(600, 1, 2), 600.0 / 12.0);
+    EXPECT_DOUBLE_EQ(gamma_star_landmark(600, 1, 2), 4.0 * 600.0 / 2.0);
+    EXPECT_DOUBLE_EQ(gamma0_landmark(600, 3), 200.0);
+}
+
+TEST(Landmarks, OrderingGammaStarAboveBeta0) {
+    // gamma* = 4n/dk > beta0 = n/(6 dk) always.
+    for (const auto& [k, d] : std::vector<std::pair<std::uint64_t,
+                                                    std::uint64_t>>{
+             {1, 2}, {2, 3}, {16, 17}, {128, 193}}) {
+        EXPECT_GT(gamma_star_landmark(table1_n, k, d),
+                  beta0_landmark(table1_n, k, d));
+    }
+}
+
+TEST(LogBinomial, ExactSmallValues) {
+    EXPECT_NEAR(log_binomial(4, 2), std::log(6.0), 1e-10);
+    EXPECT_NEAR(log_binomial(10, 3), std::log(120.0), 1e-9);
+    EXPECT_NEAR(log_binomial(5, 0), 0.0, 1e-12);
+    EXPECT_NEAR(log_binomial(5, 5), 0.0, 1e-12);
+}
+
+TEST(BetaSequence, StartsAtBeta0AndDecreases) {
+    const auto seq = beta_sequence(table1_n, 2, 3);
+    ASSERT_GE(seq.size(), 2u);
+    EXPECT_DOUBLE_EQ(seq.front(), beta0_landmark(table1_n, 2, 3));
+    for (std::size_t i = 1; i < seq.size(); ++i) {
+        EXPECT_LT(seq[i], seq[i - 1]);
+    }
+}
+
+TEST(BetaSequence, LengthWithinTheoremBound) {
+    // i* <= ln ln n / ln(d-k+1) + O(1) (Theorem 4, Part B).
+    for (const auto& [k, d] :
+         std::vector<std::pair<std::uint64_t, std::uint64_t>>{
+             {1, 2}, {2, 3}, {4, 9}, {16, 25}}) {
+        const auto seq = beta_sequence(table1_n, k, d);
+        const double bound = i_star_bound(table1_n, k, d);
+        EXPECT_LE(static_cast<double>(seq.size()), bound + 4.0)
+            << "k=" << k << " d=" << d;
+    }
+}
+
+TEST(BetaSequence, CollapsesDoublyExponentially) {
+    const auto seq = beta_sequence(1ULL << 24, 1, 2);
+    // Once below n/16 or so, each step should at least square the ratio
+    // beta_i / n (up to the constant F), so log(n/beta) at least doubles.
+    for (std::size_t i = 1; i + 1 < seq.size(); ++i) {
+        const double ratio_log_before =
+            std::log(static_cast<double>(1ULL << 24) / seq[i]);
+        const double ratio_log_after =
+            std::log(static_cast<double>(1ULL << 24) / seq[i + 1]);
+        if (ratio_log_before > 4.0) {
+            EXPECT_GT(ratio_log_after, 1.5 * ratio_log_before);
+        }
+    }
+}
+
+TEST(GammaSequence, StartsAtGamma0AndDecreases) {
+    const auto seq = gamma_sequence(table1_n, 2, 3);
+    ASSERT_GE(seq.size(), 2u);
+    EXPECT_DOUBLE_EQ(seq.front(), gamma0_landmark(table1_n, 3));
+    for (std::size_t i = 1; i < seq.size(); ++i) {
+        EXPECT_LT(seq[i], seq[i - 1]);
+    }
+}
+
+TEST(SingleChoiceMaxLoad, Table1Magnitude) {
+    // For n = 3*2^16 the law gives ~ 12.2/2.5 ~ 4.9; the measured Table 1
+    // value is 7-9, consistent with the (1+o(1)) slack at finite n.
+    const double law = single_choice_max_load(table1_n);
+    EXPECT_GT(law, 3.0);
+    EXPECT_LT(law, 10.0);
+}
+
+TEST(MessageCost, MatchesFootnote1) {
+    EXPECT_EQ(message_cost(1000, 1, 2), 2000u);
+    EXPECT_EQ(message_cost(1000, 2, 3), 1500u);
+    EXPECT_EQ(message_cost(192, 192, 193), 193u);
+}
+
+TEST(MessageCost, RequiresWholeRounds) {
+    EXPECT_THROW((void)message_cost(10, 3, 4), kdc::contract_violation);
+}
+
+TEST(Corollary1, AppliesOnlyForHugeDk) {
+    // dk = 193 is nowhere near e^{(ln ln n)^3} at n = 3*2^16.
+    EXPECT_FALSE(corollary1_applies(table1_n, 192, 193));
+    // For tiny n the cutoff e^{(ln ln n)^3} is small; k=d-1 with large d
+    // (dk = d) can satisfy it.
+    EXPECT_TRUE(corollary1_applies(20, 19, 20));
+}
+
+} // namespace

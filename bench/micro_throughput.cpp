@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "core/kdchoice.hpp"
+#include "core/parallel_runner.hpp"
+#include "core/runner.hpp"
 #include "rng/pcg32.hpp"
 #include "rng/sampling.hpp"
 #include "rng/uniform.hpp"
@@ -100,6 +102,40 @@ void bm_d_choice_fast_path(benchmark::State& state) {
     state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(bm_d_choice_fast_path)->Arg(2)->Arg(4)->Arg(8);
+
+/// Serial repetition sweep baseline for the parallel-runner comparison:
+/// a Table-1-style cell, 10 reps of (8,16)-choice at n = 2^15.
+void bm_experiment_serial(benchmark::State& state) {
+    constexpr std::uint64_t n = 1 << 15;
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        const auto result = kdc::core::run_kd_experiment(
+            n, 8, 16, {.balls = n, .reps = 10, .seed = ++seed});
+        benchmark::DoNotOptimize(result.reps.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 10 * n);
+}
+BENCHMARK(bm_experiment_serial)->Unit(benchmark::kMillisecond);
+
+/// The same sweep fanned out over a thread pool. Aggregates are bit-identical
+/// to the serial baseline; only wall-clock time may differ.
+void bm_experiment_parallel(benchmark::State& state) {
+    constexpr std::uint64_t n = 1 << 15;
+    const auto threads = static_cast<unsigned>(state.range(0));
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        const auto result = kdc::core::run_kd_experiment_parallel(
+            n, 8, 16, {.balls = n, .reps = 10, .seed = ++seed}, threads);
+        benchmark::DoNotOptimize(result.reps.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 10 * n);
+}
+BENCHMARK(bm_experiment_parallel)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 void bm_sorted_loads(benchmark::State& state) {
     kdc::core::kd_choice_process process(1 << 16, 2, 4, 7);

@@ -10,12 +10,16 @@
 //     max load;
 //   * the adaptive threshold baseline (Czumaj-Stemann flavor) for context.
 //
-//   ./tradeoff_frontier [--n=196608] [--reps=10] [--seed=5]
+// Repetitions run on a thread pool (--threads, default: all hardware
+// threads) with aggregates bit-identical to a serial run.
+//
+//   ./tradeoff_frontier [--n=196608] [--reps=10] [--seed=5] [--threads=0]
 #include <cmath>
 #include <iostream>
 #include <vector>
 
 #include "core/kdchoice.hpp"
+#include "core/parallel_runner.hpp"
 #include "support/cli.hpp"
 #include "support/text_table.hpp"
 #include "theory/bounds.hpp"
@@ -36,12 +40,14 @@ int main(int argc, char** argv) {
     args.add_option("n", "196608", "number of bins and balls");
     args.add_option("reps", "10", "repetitions per scheme");
     args.add_option("seed", "5", "master seed");
+    args.add_threads_option();
     if (!args.parse(argc, argv)) {
         return 0;
     }
     const auto n = static_cast<std::uint64_t>(args.get_int("n"));
     const auto reps = static_cast<std::uint32_t>(args.get_int("reps"));
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+    const auto threads = args.get_threads();
 
     const auto ln_n = static_cast<std::uint64_t>(
         std::log(static_cast<double>(n)));
@@ -51,9 +57,9 @@ int main(int argc, char** argv) {
     std::vector<frontier_row> rows;
     auto add_experiment = [&](const std::string& name, auto&& factory,
                               std::uint64_t balls) {
-        const auto result = kdc::core::run_experiment(
+        const auto result = kdc::core::run_parallel_experiment(
             {.balls = balls, .reps = reps, .seed = seed ^ rows.size()},
-            factory);
+            factory, threads);
         rows.push_back(frontier_row{
             name,
             result.message_stats.mean() / static_cast<double>(balls),
@@ -91,7 +97,7 @@ int main(int argc, char** argv) {
          "(k,k+ln n), k~8 ln^2 n: (1+o(1))n msgs"},
     };
     for (const auto& cfg : kd_configs) {
-        const auto balls = n - (n % cfg.k);
+        const auto balls = kdc::core::whole_rounds_balls(n, cfg.k);
         add_experiment(cfg.note, [n, cfg](std::uint64_t s) {
             return kdc::core::kd_choice_process(n, cfg.k, cfg.d, s);
         }, balls);

@@ -1,0 +1,110 @@
+#include "core/parallel_runner.hpp"
+
+namespace kdc::core {
+
+thread_pool::thread_pool(unsigned threads) {
+    KD_EXPECTS_MSG(threads >= 1, "a thread pool needs at least one worker");
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+thread_pool::~thread_pool() {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    work_available_.notify_all();
+    for (auto& worker : workers_) {
+        worker.join();
+    }
+}
+
+void thread_pool::submit(std::function<void()> job) {
+    KD_EXPECTS_MSG(job != nullptr, "cannot submit an empty job");
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        KD_EXPECTS_MSG(!stopping_, "pool is shutting down");
+        queue_.push_back(std::move(job));
+        ++in_flight_;
+    }
+    work_available_.notify_one();
+}
+
+void thread_pool::wait_idle() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void thread_pool::worker_loop() {
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            work_available_.wait(
+                lock, [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty()) {
+                return; // stopping_ and drained
+            }
+            job = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        job();
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            --in_flight_;
+            if (in_flight_ == 0) {
+                all_done_.notify_all();
+            }
+        }
+    }
+}
+
+unsigned resolve_thread_count(unsigned requested) noexcept {
+    if (requested != 0) {
+        return requested;
+    }
+    const unsigned hardware = std::thread::hardware_concurrency();
+    return hardware != 0 ? hardware : 1;
+}
+
+experiment_result
+run_kd_experiment_parallel(std::uint64_t n, std::uint64_t k, std::uint64_t d,
+                           const experiment_config& config, unsigned threads) {
+    experiment_config actual = config;
+    if (actual.balls == 0) {
+        actual.balls = whole_rounds_balls(n, k);
+    }
+    return run_parallel_experiment(actual, [n, k, d](std::uint64_t seed) {
+        return kd_choice_process(n, k, d, seed);
+    }, threads);
+}
+
+experiment_result
+run_single_choice_experiment_parallel(std::uint64_t n,
+                                      const experiment_config& config,
+                                      unsigned threads) {
+    experiment_config actual = config;
+    if (actual.balls == 0) {
+        actual.balls = n;
+    }
+    return run_parallel_experiment(actual, [n](std::uint64_t seed) {
+        return single_choice_process(n, seed);
+    }, threads);
+}
+
+experiment_result
+run_d_choice_experiment_parallel(std::uint64_t n, std::uint64_t d,
+                                 const experiment_config& config,
+                                 unsigned threads) {
+    experiment_config actual = config;
+    if (actual.balls == 0) {
+        actual.balls = n;
+    }
+    return run_parallel_experiment(actual, [n, d](std::uint64_t seed) {
+        return d_choice_process(n, d, seed);
+    }, threads);
+}
+
+} // namespace kdc::core

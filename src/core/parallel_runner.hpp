@@ -1,0 +1,152 @@
+// Thread-pool version of the multi-repetition experiment runner.
+//
+// Repetitions of an experiment are embarrassingly parallel: rep r depends
+// only on derive_seed(master, r), never on rep r-1. run_parallel_experiment
+// exploits that by fanning the reps of one experiment_config out across a
+// pool of hardware threads, then folding the per-repetition results into the
+// aggregate *in repetition order*. Because both the per-rep seeds and the
+// fold order are independent of the thread count, the returned
+// experiment_result is bit-identical to the serial run_experiment — at 1, 8,
+// or 64 threads. That is the property the Table-1 / frontier sweeps rely on:
+// `--threads` changes wall-clock time only, never a reported number.
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/runner.hpp"
+
+namespace kdc::core {
+
+/// Fixed-size pool of worker threads draining a FIFO job queue. Small by
+/// design: submit() and wait_idle() are all the experiment runner needs.
+/// Jobs must not throw (run_repetitions wraps user code and captures the
+/// first exception itself).
+class thread_pool {
+public:
+    /// Spawns `threads` workers (>= 1 enforced by contract).
+    explicit thread_pool(unsigned threads);
+
+    /// Joins all workers; pending jobs are still drained first.
+    ~thread_pool();
+
+    thread_pool(const thread_pool&) = delete;
+    thread_pool& operator=(const thread_pool&) = delete;
+
+    /// Enqueues a job for execution on some worker.
+    void submit(std::function<void()> job);
+
+    /// Blocks until every submitted job has finished executing.
+    void wait_idle();
+
+    [[nodiscard]] unsigned size() const noexcept {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+private:
+    void worker_loop();
+
+    std::mutex mutex_;
+    std::condition_variable work_available_;
+    std::condition_variable all_done_;
+    std::deque<std::function<void()>> queue_;
+    std::size_t in_flight_ = 0;  // queued + currently executing jobs
+    bool stopping_ = false;
+    std::vector<std::thread> workers_;
+};
+
+/// Resolves a user-facing thread-count request: 0 means "all hardware
+/// threads" (at least 1 even if the runtime cannot tell), anything else is
+/// taken literally.
+[[nodiscard]] unsigned resolve_thread_count(unsigned requested) noexcept;
+
+namespace detail {
+
+/// Runs reps repetitions of `factory` on `pool`, writing slot r of the
+/// returned vector from seed derive_seed(seed, r). Rethrows the first
+/// exception any repetition threw (remaining reps still run to completion so
+/// the pool is quiescent on return).
+template <typename Factory>
+[[nodiscard]] std::vector<repetition_result>
+run_repetitions(thread_pool& pool, const experiment_config& config,
+                Factory&& factory) {
+    std::vector<repetition_result> results(config.reps);
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+    for (std::uint32_t rep = 0; rep < config.reps; ++rep) {
+        pool.submit([&, rep] {
+            try {
+                results[rep] =
+                    run_one_repetition(rng::derive_seed(config.seed, rep),
+                                       config.balls, factory);
+            } catch (...) {
+                const std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error) {
+                    first_error = std::current_exception();
+                }
+            }
+        });
+    }
+    pool.wait_idle();
+    if (first_error) {
+        std::rethrow_exception(first_error);
+    }
+    return results;
+}
+
+} // namespace detail
+
+/// Parallel counterpart of run_experiment. `factory(seed)` must be callable
+/// concurrently from multiple threads (every factory in this repo is: it
+/// only captures experiment parameters by value). `threads` = 0 uses all
+/// hardware threads; the pool never holds more workers than reps.
+///
+/// Guarantee: the result — reps vector, histogram, and every running_stats
+/// aggregate — is bit-identical to run_experiment(config, factory).
+template <typename Factory>
+[[nodiscard]] experiment_result
+run_parallel_experiment(const experiment_config& config, Factory&& factory,
+                        unsigned threads = 0) {
+    KD_EXPECTS(config.reps >= 1);
+    KD_EXPECTS(config.balls >= 1);
+
+    const unsigned resolved = resolve_thread_count(threads);
+    const unsigned workers =
+        std::min<unsigned>(resolved, config.reps);
+    thread_pool pool(workers);
+    auto reps = detail::run_repetitions(pool, config, factory);
+
+    // Fold in repetition order: running_stats and the histogram see exactly
+    // the sequence the serial runner feeds them, so aggregates match bitwise.
+    experiment_result out;
+    out.reps = std::move(reps);
+    for (const auto& r : out.reps) {
+        accumulate_repetition(out, r);
+    }
+    return out;
+}
+
+/// Parallel counterparts of the serial convenience runners. Same defaults:
+/// balls = 0 means "as many whole rounds as fit n balls".
+[[nodiscard]] experiment_result
+run_kd_experiment_parallel(std::uint64_t n, std::uint64_t k, std::uint64_t d,
+                           const experiment_config& config,
+                           unsigned threads = 0);
+
+[[nodiscard]] experiment_result
+run_single_choice_experiment_parallel(std::uint64_t n,
+                                      const experiment_config& config,
+                                      unsigned threads = 0);
+
+[[nodiscard]] experiment_result
+run_d_choice_experiment_parallel(std::uint64_t n, std::uint64_t d,
+                                 const experiment_config& config,
+                                 unsigned threads = 0);
+
+} // namespace kdc::core

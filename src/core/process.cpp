@@ -25,9 +25,9 @@ void kd_choice_process::run_round() {
         rng::sample_with_replacement(gen_, loads_.size(),
                                      std::span<std::uint32_t>(sample_buffer_));
     } else {
-        const auto distinct =
-            rng::sample_without_replacement(gen_, loads_.size(), d_);
-        std::copy(distinct.begin(), distinct.end(), sample_buffer_.begin());
+        rng::sample_without_replacement(
+            gen_, loads_.size(), sample_scratch_,
+            std::span<std::uint32_t>(sample_buffer_));
     }
     run_round_with_samples(sample_buffer_);
 }

@@ -102,6 +102,7 @@ private:
     bool record_heights_ = false;
     std::vector<placed_ball> height_log_;
     std::vector<std::uint32_t> sample_buffer_;
+    rng::sample_scratch sample_scratch_; // without_replacement probe mode
     round_scratch scratch_;
     rng::xoshiro256ss gen_;
 };

@@ -2,12 +2,19 @@
 
 namespace kdc::core {
 
+std::uint64_t whole_rounds_balls(std::uint64_t n, std::uint64_t k) {
+    KD_EXPECTS_MSG(k >= 1, "k must be positive");
+    KD_EXPECTS_MSG(n >= k,
+                   "need n >= k bins: not even one round of k balls fits");
+    return n - (n % k);
+}
+
 experiment_result run_kd_experiment(std::uint64_t n, std::uint64_t k,
                                     std::uint64_t d,
                                     const experiment_config& config) {
     experiment_config actual = config;
     if (actual.balls == 0) {
-        actual.balls = n;
+        actual.balls = whole_rounds_balls(n, k);
     }
     return run_experiment(actual, [n, k, d](std::uint64_t seed) {
         return kd_choice_process(n, k, d, seed);

@@ -47,6 +47,37 @@ struct experiment_result {
     }
 };
 
+/// Runs one repetition with the given (already derived) seed and returns its
+/// observations. Shared by the serial and parallel runners so both measure
+/// exactly the same thing.
+template <typename Factory>
+[[nodiscard]] repetition_result
+run_one_repetition(std::uint64_t derived_seed, std::uint64_t balls,
+                   Factory& factory) {
+    auto process = factory(derived_seed);
+    static_assert(allocation_process<decltype(process)>);
+    process.run_balls(balls);
+
+    const auto metrics = compute_load_metrics(process.loads());
+    repetition_result r;
+    r.max_load = metrics.max_load;
+    r.gap = metrics.gap;
+    r.messages = process.messages();
+    r.empty_bins = metrics.empty_bins;
+    return r;
+}
+
+/// Folds one repetition into the aggregate statistics (the rep must already
+/// be appended to / owned by out.reps by the caller). Fold order is part of
+/// the determinism contract: both runners fold in repetition order.
+inline void accumulate_repetition(experiment_result& out,
+                                  const repetition_result& r) {
+    out.max_load_values.add(r.max_load);
+    out.max_load_stats.push(static_cast<double>(r.max_load));
+    out.gap_stats.push(r.gap);
+    out.message_stats.push(static_cast<double>(r.messages));
+}
+
 /// Runs `config.reps` repetitions. `factory(seed)` must return a fresh
 /// process satisfying the allocation_process concept.
 template <typename Factory>
@@ -58,28 +89,21 @@ template <typename Factory>
     experiment_result out;
     out.reps.reserve(config.reps);
     for (std::uint32_t rep = 0; rep < config.reps; ++rep) {
-        auto process = factory(rng::derive_seed(config.seed, rep));
-        static_assert(allocation_process<decltype(process)>);
-        process.run_balls(config.balls);
-
-        const auto metrics = compute_load_metrics(process.loads());
-        repetition_result r;
-        r.max_load = metrics.max_load;
-        r.gap = metrics.gap;
-        r.messages = process.messages();
-        r.empty_bins = metrics.empty_bins;
-        out.reps.push_back(r);
-
-        out.max_load_values.add(r.max_load);
-        out.max_load_stats.push(static_cast<double>(r.max_load));
-        out.gap_stats.push(r.gap);
-        out.message_stats.push(static_cast<double>(r.messages));
+        out.reps.push_back(run_one_repetition(rng::derive_seed(config.seed, rep),
+                                              config.balls, factory));
+        accumulate_repetition(out, out.reps.back());
     }
     return out;
 }
 
+/// The default ball count for a convenience runner: as many balls as bins,
+/// rounded *down* to whole rounds of k (the process only places whole
+/// rounds). Rejects n < k, where not even one round fits.
+[[nodiscard]] std::uint64_t whole_rounds_balls(std::uint64_t n,
+                                               std::uint64_t k);
+
 /// Convenience: the (k,d)-choice experiment with n bins and `balls` balls
-/// (balls defaults to n when 0 is passed).
+/// (balls defaults to whole_rounds_balls(n, k) when 0 is passed).
 [[nodiscard]] experiment_result
 run_kd_experiment(std::uint64_t n, std::uint64_t k, std::uint64_t d,
                   const experiment_config& config);

@@ -36,28 +36,62 @@ void shuffle(G& gen, std::span<T> items) {
     }
 }
 
-/// Returns `count` distinct indices from [0, n) via Robert Floyd's algorithm
-/// (O(count) expected work, no O(n) scratch). Output order is randomized.
+/// Reusable epoch-stamp scratch for sample_without_replacement: one stamp per
+/// domain element, so the membership test "was this index already chosen?" is
+/// O(1) instead of a linear scan over the chosen prefix. Hold one of these
+/// per sampler (e.g. per allocation process) to amortize the O(n) stamp
+/// array across calls.
+struct sample_scratch {
+    std::vector<std::uint32_t> stamps;
+    std::uint32_t epoch = 0;
+};
+
+/// Fills `out` with out.size() distinct indices from [0, n) via Robert
+/// Floyd's algorithm: O(out.size()) expected work per call once `scratch` is
+/// warm. Output order is randomized.
+template <typename G>
+    requires std::uniform_random_bit_generator<G>
+void sample_without_replacement(G& gen, std::uint64_t n,
+                                sample_scratch& scratch,
+                                std::span<std::uint32_t> out) {
+    const std::uint64_t count = out.size();
+    KD_EXPECTS(count <= n);
+    if (scratch.stamps.size() < n) {
+        scratch.stamps.assign(n, 0);
+        scratch.epoch = 0;
+    }
+    if (++scratch.epoch == 0) { // stamp wrap-around: clear and restart
+        std::fill(scratch.stamps.begin(), scratch.stamps.end(), 0u);
+        scratch.epoch = 1;
+    }
+    std::size_t written = 0;
+    for (std::uint64_t j = n - count; j < n; ++j) {
+        const auto candidate =
+            static_cast<std::uint32_t>(uniform_below(gen, j + 1));
+        const auto pick = scratch.stamps[candidate] != scratch.epoch
+                              ? candidate
+                              : static_cast<std::uint32_t>(j);
+        scratch.stamps[pick] = scratch.epoch;
+        out[written++] = pick;
+    }
+    // Floyd's algorithm biases the *order* (later slots tend to hold larger
+    // values); shuffle so callers may treat the output as a random sequence.
+    shuffle(gen, out);
+    KD_ENSURES(written == count);
+}
+
+/// Returns `count` distinct indices from [0, n) via Robert Floyd's algorithm.
+/// Convenience overload that builds its own scratch (O(n) stamp allocation);
+/// hot paths should hold a sample_scratch and use the overload above. The
+/// output sequence is identical for a same-seeded generator.
 template <typename G>
     requires std::uniform_random_bit_generator<G>
 [[nodiscard]] std::vector<std::uint32_t>
 sample_without_replacement(G& gen, std::uint64_t n, std::uint64_t count) {
-    KD_EXPECTS(count <= n);
-    std::vector<std::uint32_t> chosen;
-    chosen.reserve(count);
-    for (std::uint64_t j = n - count; j < n; ++j) {
-        const auto candidate =
-            static_cast<std::uint32_t>(uniform_below(gen, j + 1));
-        if (std::find(chosen.begin(), chosen.end(), candidate) ==
-            chosen.end()) {
-            chosen.push_back(candidate);
-        } else {
-            chosen.push_back(static_cast<std::uint32_t>(j));
-        }
-    }
-    // Floyd's algorithm biases the *order* (later slots tend to hold larger
-    // values); shuffle so callers may treat the output as a random sequence.
-    shuffle(gen, std::span<std::uint32_t>(chosen));
+    std::vector<std::uint32_t> chosen(count);
+    sample_scratch scratch;
+    sample_without_replacement(gen, n, scratch,
+                               std::span<std::uint32_t>(chosen));
     return chosen;
 }
 

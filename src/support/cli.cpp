@@ -2,6 +2,7 @@
 
 #include <charconv>
 #include <iostream>
+#include <limits>
 #include <sstream>
 
 #include "support/contracts.hpp"
@@ -20,6 +21,23 @@ void arg_parser::add_flag(std::string name, std::string help) {
     specs_[std::move(name)] = option_spec{"false", std::move(help), true};
 }
 
+void arg_parser::add_threads_option() {
+    add_option("threads", "0",
+               "worker threads for repetition sweeps (0 = all hardware "
+               "threads)");
+}
+
+unsigned arg_parser::get_threads() const {
+    const std::int64_t value = get_int("threads");
+    if (value < 0 ||
+        value > static_cast<std::int64_t>(
+                    std::numeric_limits<unsigned>::max())) {
+        throw cli_error("option --threads out of range, got " +
+                        std::to_string(value));
+    }
+    return static_cast<unsigned>(value);
+}
+
 bool arg_parser::parse(int argc, const char* const* argv) {
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -34,6 +52,13 @@ bool arg_parser::parse(int argc, const char* const* argv) {
         const auto body = arg.substr(2);
         const auto eq = body.find('=');
         const std::string key = body.substr(0, eq);
+        if (key.empty()) {
+            // Catches both a bare `--` and `--=value`; without this check
+            // the empty key would fall through to the misleading
+            // "unknown option --" diagnostic.
+            throw cli_error("malformed argument '" + arg +
+                            "': missing option name after --");
+        }
         const auto spec = specs_.find(key);
         if (spec == specs_.end()) {
             throw cli_error("unknown option --" + key);

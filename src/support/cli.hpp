@@ -27,6 +27,15 @@ public:
     /// Declares a boolean flag (false unless present).
     void add_flag(std::string name, std::string help);
 
+    /// Declares the standard `--threads` option shared by the parallel
+    /// sweeps: 0 (the default) means "use all hardware threads".
+    void add_threads_option();
+
+    /// Parsed `--threads` value. 0 (the default) is the "use all hardware
+    /// threads" sentinel understood by the parallel runner; negative values
+    /// are rejected with cli_error.
+    [[nodiscard]] unsigned get_threads() const;
+
     /// Parses argv. Throws cli_error on unknown/malformed options.
     /// Returns false if `--help` was requested (usage printed to stdout).
     [[nodiscard]] bool parse(int argc, const char* const* argv);

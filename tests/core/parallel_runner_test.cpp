@@ -1,0 +1,158 @@
+#include "core/parallel_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+#include "core/runner.hpp"
+#include "support/contracts.hpp"
+
+namespace {
+
+using kdc::core::experiment_config;
+using kdc::core::experiment_result;
+using kdc::core::run_d_choice_experiment;
+using kdc::core::run_d_choice_experiment_parallel;
+using kdc::core::run_experiment;
+using kdc::core::run_kd_experiment;
+using kdc::core::run_kd_experiment_parallel;
+using kdc::core::run_parallel_experiment;
+using kdc::core::run_single_choice_experiment;
+using kdc::core::run_single_choice_experiment_parallel;
+using kdc::core::thread_pool;
+
+/// Rep-for-rep and aggregate-for-aggregate bitwise equality. running_stats
+/// and histogram aggregates are compared through their exact accessors, so
+/// any fold-order difference (which would perturb floating-point sums) fails.
+void expect_identical(const experiment_result& serial,
+                      const experiment_result& parallel) {
+    ASSERT_EQ(serial.reps.size(), parallel.reps.size());
+    for (std::size_t i = 0; i < serial.reps.size(); ++i) {
+        EXPECT_EQ(serial.reps[i].max_load, parallel.reps[i].max_load) << i;
+        EXPECT_EQ(serial.reps[i].gap, parallel.reps[i].gap) << i;
+        EXPECT_EQ(serial.reps[i].messages, parallel.reps[i].messages) << i;
+        EXPECT_EQ(serial.reps[i].empty_bins, parallel.reps[i].empty_bins)
+            << i;
+    }
+    EXPECT_EQ(serial.max_load_set(), parallel.max_load_set());
+    EXPECT_EQ(serial.max_load_stats.count(), parallel.max_load_stats.count());
+    // Bitwise, not approximate: the parallel runner promises the identical
+    // fold, so even the variance accumulators must match exactly.
+    EXPECT_EQ(serial.max_load_stats.mean(), parallel.max_load_stats.mean());
+    EXPECT_EQ(serial.max_load_stats.variance(),
+              parallel.max_load_stats.variance());
+    EXPECT_EQ(serial.gap_stats.mean(), parallel.gap_stats.mean());
+    EXPECT_EQ(serial.gap_stats.variance(), parallel.gap_stats.variance());
+    EXPECT_EQ(serial.message_stats.mean(), parallel.message_stats.mean());
+    EXPECT_EQ(serial.message_stats.variance(),
+              parallel.message_stats.variance());
+}
+
+TEST(ParallelRunner, MatchesSerialAtOneTwoAndEightThreads) {
+    const experiment_config config{.balls = 512, .reps = 12, .seed = 42};
+    const auto serial = run_kd_experiment(512, 2, 4, config);
+    for (const unsigned threads : {1u, 2u, 8u}) {
+        const auto parallel =
+            run_kd_experiment_parallel(512, 2, 4, config, threads);
+        expect_identical(serial, parallel);
+    }
+}
+
+TEST(ParallelRunner, MatchesSerialForSingleAndDChoice) {
+    const experiment_config config{.balls = 256, .reps = 9, .seed = 7};
+    for (const unsigned threads : {1u, 2u, 8u}) {
+        expect_identical(run_single_choice_experiment(256, config),
+                         run_single_choice_experiment_parallel(256, config,
+                                                               threads));
+        expect_identical(run_d_choice_experiment(256, 3, config),
+                         run_d_choice_experiment_parallel(256, 3, config,
+                                                          threads));
+    }
+}
+
+TEST(ParallelRunner, MatchesSerialWithCustomFactory) {
+    const experiment_config config{.balls = 300, .reps = 10, .seed = 3};
+    const auto factory = [](std::uint64_t seed) {
+        return kdc::core::kd_choice_process(300, 3, 7, seed);
+    };
+    const auto serial = run_experiment(config, factory);
+    for (const unsigned threads : {1u, 2u, 8u}) {
+        expect_identical(serial,
+                         run_parallel_experiment(config, factory, threads));
+    }
+}
+
+TEST(ParallelRunner, ZeroThreadsMeansHardwareConcurrency) {
+    const experiment_config config{.balls = 128, .reps = 4, .seed = 11};
+    expect_identical(run_kd_experiment(128, 2, 4, config),
+                     run_kd_experiment_parallel(128, 2, 4, config, 0));
+}
+
+TEST(ParallelRunner, MoreThreadsThanRepsIsFine) {
+    const experiment_config config{.balls = 64, .reps = 2, .seed = 5};
+    expect_identical(run_kd_experiment(64, 2, 4, config),
+                     run_kd_experiment_parallel(64, 2, 4, config, 16));
+}
+
+TEST(ParallelRunner, DefaultBallsRoundsDownToWholeRounds) {
+    // n = 100, k = 3: serial and parallel must agree on the 99-ball default.
+    const experiment_config config{.balls = 0, .reps = 3, .seed = 2};
+    expect_identical(run_kd_experiment(100, 3, 7, config),
+                     run_kd_experiment_parallel(100, 3, 7, config, 4));
+}
+
+TEST(ParallelRunner, PropagatesFactoryExceptions) {
+    const experiment_config config{.balls = 30, .reps = 8, .seed = 1};
+    EXPECT_THROW(
+        (void)run_parallel_experiment(
+            config,
+            [](std::uint64_t seed) {
+                if (seed != 0) { // every derived seed in practice
+                    throw std::runtime_error("factory failed");
+                }
+                return kdc::core::single_choice_process(16, seed);
+            },
+            4),
+        std::runtime_error);
+}
+
+TEST(ParallelRunner, RejectsZeroReps) {
+    const experiment_config config{.balls = 16, .reps = 0, .seed = 1};
+    EXPECT_THROW((void)run_kd_experiment_parallel(16, 2, 4, config, 2),
+                 kdc::contract_violation);
+}
+
+TEST(ThreadPool, RunsEverySubmittedJobAcrossWorkers) {
+    thread_pool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 100; ++i) {
+        pool.submit([&counter] { ++counter; });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleWithNothingSubmittedReturns) {
+    thread_pool pool(2);
+    pool.wait_idle();
+}
+
+TEST(ThreadPool, CanBeReusedAfterWaitIdle) {
+    thread_pool pool(3);
+    std::atomic<int> counter{0};
+    for (int round = 0; round < 3; ++round) {
+        for (int i = 0; i < 10; ++i) {
+            pool.submit([&counter] { ++counter; });
+        }
+        pool.wait_idle();
+    }
+    EXPECT_EQ(counter.load(), 30);
+}
+
+TEST(ThreadPool, RejectsZeroWorkers) {
+    EXPECT_THROW(thread_pool pool(0), kdc::contract_violation);
+}
+
+} // namespace

@@ -21,6 +21,30 @@ TEST(Runner, RunsRequestedRepetitions) {
     EXPECT_EQ(result.max_load_values.total(), 7u);
 }
 
+TEST(Runner, ZeroBallsDefaultsToWholeRoundsWhenNotDivisible) {
+    // Regression: n = 100, k = 3 used to pass balls = 100 straight to
+    // run_balls, which rejects partial rounds (100 % 3 != 0). The default
+    // must round down to 99 balls (33 whole rounds).
+    const auto result =
+        run_kd_experiment(100, 3, 7, {.balls = 0, .reps = 3, .seed = 1});
+    ASSERT_EQ(result.reps.size(), 3u);
+    for (const auto& rep : result.reps) {
+        // 99 balls in 100 bins: mean load 0.99, so gap = max - 0.99.
+        EXPECT_DOUBLE_EQ(rep.gap, static_cast<double>(rep.max_load) - 0.99);
+    }
+}
+
+TEST(Runner, WholeRoundsBallsRoundsDown) {
+    EXPECT_EQ(kdc::core::whole_rounds_balls(100, 3), 99u);
+    EXPECT_EQ(kdc::core::whole_rounds_balls(96, 3), 96u);
+    EXPECT_EQ(kdc::core::whole_rounds_balls(5, 5), 5u);
+}
+
+TEST(Runner, WholeRoundsBallsRejectsFewerBinsThanK) {
+    EXPECT_THROW((void)kdc::core::whole_rounds_balls(2, 3),
+                 kdc::contract_violation);
+}
+
 TEST(Runner, ZeroBallsDefaultsToN) {
     const auto result =
         run_kd_experiment(128, 2, 4, {.balls = 0, .reps = 2, .seed = 1});

@@ -77,6 +77,55 @@ TEST(SampleWithoutReplacement, CountZeroIsEmpty) {
     EXPECT_TRUE(sample_without_replacement(gen, 5, 0).empty());
 }
 
+TEST(SampleWithoutReplacement, ScratchOverloadMatchesAllocatingOverload) {
+    // The epoch-stamp scratch is an implementation detail: for same-seeded
+    // generators both overloads must consume the same RNG stream and return
+    // the same sequence.
+    xoshiro256ss gen_a(12);
+    xoshiro256ss gen_b(12);
+    kdc::rng::sample_scratch scratch;
+    for (int trial = 0; trial < 50; ++trial) {
+        const auto allocated = sample_without_replacement(gen_a, 40, 7);
+        std::vector<std::uint32_t> reused(7);
+        sample_without_replacement(gen_b, 40, scratch,
+                                   std::span<std::uint32_t>(reused));
+        EXPECT_EQ(allocated, reused);
+    }
+}
+
+TEST(SampleWithoutReplacement, SharedScratchStaysDistinctAcrossCalls) {
+    // Epochs must isolate calls: stamps from earlier draws may not leak into
+    // later ones (which would show up as skipped or repeated indices).
+    xoshiro256ss gen(13);
+    kdc::rng::sample_scratch scratch;
+    std::vector<std::uint32_t> out(30);
+    for (int trial = 0; trial < 200; ++trial) {
+        sample_without_replacement(gen, 32, scratch,
+                                   std::span<std::uint32_t>(out));
+        const std::set<std::uint32_t> distinct(out.begin(), out.end());
+        ASSERT_EQ(distinct.size(), out.size());
+        for (const auto v : out) {
+            ASSERT_LT(v, 32u);
+        }
+    }
+}
+
+TEST(SampleWithoutReplacement, ScratchGrowsWithDomain) {
+    xoshiro256ss gen(14);
+    kdc::rng::sample_scratch scratch;
+    std::vector<std::uint32_t> small(4);
+    sample_without_replacement(gen, 8, scratch,
+                               std::span<std::uint32_t>(small));
+    std::vector<std::uint32_t> large(50);
+    sample_without_replacement(gen, 1000, scratch,
+                               std::span<std::uint32_t>(large));
+    const std::set<std::uint32_t> distinct(large.begin(), large.end());
+    EXPECT_EQ(distinct.size(), large.size());
+    for (const auto v : large) {
+        EXPECT_LT(v, 1000u);
+    }
+}
+
 TEST(SampleWithoutReplacement, EachElementEquallyLikely) {
     xoshiro256ss gen(7);
     constexpr std::uint64_t n = 12;

@@ -85,6 +85,66 @@ TEST(ArgParser, FlagWithValueThrows) {
                  cli_error);
 }
 
+TEST(ArgParser, BareDoubleDashIsMalformed) {
+    arg_parser parser;
+    parser.add_option("n", "1", "bins");
+    const std::array argv{"prog", "--"};
+    try {
+        (void)parser.parse(static_cast<int>(argv.size()), argv.data());
+        FAIL() << "expected cli_error";
+    } catch (const cli_error& e) {
+        // Regression: this used to report the misleading "unknown option --".
+        EXPECT_NE(std::string(e.what()).find("malformed"), std::string::npos);
+    }
+}
+
+TEST(ArgParser, EmptyKeyWithValueIsMalformed) {
+    arg_parser parser;
+    parser.add_option("n", "1", "bins");
+    const std::array argv{"prog", "--=3"};
+    try {
+        (void)parser.parse(static_cast<int>(argv.size()), argv.data());
+        FAIL() << "expected cli_error";
+    } catch (const cli_error& e) {
+        EXPECT_NE(std::string(e.what()).find("malformed"), std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("--=3"), std::string::npos);
+    }
+}
+
+TEST(ArgParser, ThreadsOptionDefaultsToAutoSentinel) {
+    arg_parser parser;
+    parser.add_threads_option();
+    const std::array argv{"prog"};
+    ASSERT_TRUE(parser.parse(static_cast<int>(argv.size()), argv.data()));
+    EXPECT_EQ(parser.get_threads(), 0u);
+}
+
+TEST(ArgParser, ThreadsOptionParsesExplicitCount) {
+    arg_parser parser;
+    parser.add_threads_option();
+    const std::array argv{"prog", "--threads=8"};
+    ASSERT_TRUE(parser.parse(static_cast<int>(argv.size()), argv.data()));
+    EXPECT_EQ(parser.get_threads(), 8u);
+}
+
+TEST(ArgParser, ThreadsOptionRejectsOverflowingCount) {
+    arg_parser parser;
+    parser.add_threads_option();
+    // 2^32 would wrap to the 0 "all hardware threads" sentinel if the cast
+    // were unchecked.
+    const std::array argv{"prog", "--threads=4294967296"};
+    ASSERT_TRUE(parser.parse(static_cast<int>(argv.size()), argv.data()));
+    EXPECT_THROW((void)parser.get_threads(), cli_error);
+}
+
+TEST(ArgParser, ThreadsOptionRejectsNegative) {
+    arg_parser parser;
+    parser.add_threads_option();
+    const std::array argv{"prog", "--threads=-2"};
+    ASSERT_TRUE(parser.parse(static_cast<int>(argv.size()), argv.data()));
+    EXPECT_THROW((void)parser.get_threads(), cli_error);
+}
+
 TEST(ArgParser, PositionalArgumentsCollected) {
     arg_parser parser;
     const std::array argv{"prog", "input.csv", "output.csv"};

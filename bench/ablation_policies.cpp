@@ -9,7 +9,12 @@
 //     load distribution is invariant — identity, reversal and random
 //     schedules must agree (an ablation that *should* show nothing).
 //
-//   ./ablation_policies [--n=196608] [--reps=10] [--seed=8]
+// Both ablation phases run as cross-cell sweeps sharing ONE work-stealing
+// pool (core/sweep.hpp), so all configurations of a phase execute in
+// parallel; reported numbers are bit-identical at any --threads value.
+//
+//   ./ablation_policies [--n=196608] [--reps=10] [--seed=8] [--threads=0]
+//                       [--csv]
 #include <iostream>
 #include <vector>
 
@@ -22,6 +27,8 @@ int main(int argc, char** argv) {
     args.add_option("n", "196608", "number of bins and balls");
     args.add_option("reps", "10", "repetitions per configuration");
     args.add_option("seed", "8", "master seed");
+    args.add_threads_option();
+    args.add_flag("csv", "also emit CSV rows (cell, mean max, set)");
     if (!args.parse(argc, argv)) {
         return 0;
     }
@@ -35,24 +42,79 @@ int main(int argc, char** argv) {
     const std::vector<config> configs{{2, 3},   {8, 9},    {32, 33},
                                       {96, 97}, {192, 193}, {128, 193}};
 
+    // Phase 1 cells: a standard / greedy pair per configuration, seeded
+    // exactly as the original serial loops were.
+    std::vector<kdc::core::sweep_cell> policy_cells;
+    std::uint64_t cfg_seed = seed;
+    for (const auto& cfg : configs) {
+        ++cfg_seed;
+        const auto balls = n - (n % cfg.k);
+        const std::string kd =
+            "(" + std::to_string(cfg.k) + "," + std::to_string(cfg.d) + ")";
+        policy_cells.push_back(kdc::core::make_sweep_cell(
+            kd + " standard",
+            {.balls = balls, .reps = reps, .seed = cfg_seed},
+            [n, cfg](std::uint64_t s) {
+                return kdc::core::kd_choice_process(n, cfg.k, cfg.d, s);
+            }));
+        policy_cells.push_back(kdc::core::make_sweep_cell(
+            kd + " greedy",
+            {.balls = balls, .reps = reps, .seed = cfg_seed + 5000},
+            [n, cfg](std::uint64_t s) {
+                return kdc::core::batched_greedy_process(n, cfg.k, cfg.d, s);
+            }));
+    }
+
+    // Phase 2 cells: one per sigma schedule, all on the same master seed
+    // (identical seeds -> identical samples is the point of the ablation).
+    // Each repetition constructs its OWN schedule: random_schedule's copies
+    // share one generator, so a schedule built once and captured would be
+    // mutated concurrently by parallel reps. Per-rep construction is
+    // race-free and still deterministic — the reported loads are
+    // sigma-invariant by Property (i) regardless of the permutation stream.
+    const std::uint64_t sk = 8;
+    const std::uint64_t sd = 16;
+    struct schedule_case {
+        const char* name;
+        std::function<kdc::core::sigma_schedule()> make;
+    };
+    const std::uint64_t sigma_seed = seed + 999;
+    std::vector<schedule_case> schedules;
+    schedules.push_back(
+        {"identity", [] { return kdc::core::identity_schedule(); }});
+    schedules.push_back(
+        {"reverse", [] { return kdc::core::reverse_schedule(); }});
+    schedules.push_back({"random", [sigma_seed] {
+                             return kdc::core::random_schedule(sigma_seed);
+                         }});
+    std::vector<kdc::core::sweep_cell> sigma_cells;
+    for (const auto& sched : schedules) {
+        sigma_cells.push_back(kdc::core::make_sweep_cell(
+            sched.name, {.balls = n, .reps = reps, .seed = seed + 31},
+            [n, sk, sd, make = sched.make](std::uint64_t s) {
+                return kdc::core::serialized_process(n, sk, sd, s, make());
+            }));
+    }
+
+    // One pool serves both phases — nested sweeps share workers instead of
+    // re-spawning them.
+    kdc::core::thread_pool pool(
+        kdc::core::resolve_thread_count(args.get_threads()));
+    // Not const: the --csv path at the end moves both into one vector.
+    auto policy_outcomes = kdc::core::run_sweep(pool, policy_cells);
+    auto sigma_outcomes = kdc::core::run_sweep(pool, sigma_cells);
+
     std::cout << "Ablation 1 — multiplicity rule vs Section 7 greedy "
                  "policy, n = " << n << "\n\n";
     kdc::text_table policy_table;
     policy_table.set_header({"(k,d)", "standard mean max", "standard set",
                              "greedy mean max", "greedy set"});
-    std::uint64_t cfg_seed = seed;
-    for (const auto& cfg : configs) {
-        ++cfg_seed;
-        const auto balls = n - (n % cfg.k);
-        const auto standard = kdc::core::run_kd_experiment(
-            n, cfg.k, cfg.d, {.balls = balls, .reps = reps, .seed = cfg_seed});
-        const auto greedy = kdc::core::run_experiment(
-            {.balls = balls, .reps = reps, .seed = cfg_seed + 5000},
-            [n, cfg](std::uint64_t s) {
-                return kdc::core::batched_greedy_process(n, cfg.k, cfg.d, s);
-            });
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        const auto& standard = policy_outcomes[2 * i].result;
+        const auto& greedy = policy_outcomes[2 * i + 1].result;
         policy_table.add_row(
-            {"(" + std::to_string(cfg.k) + "," + std::to_string(cfg.d) + ")",
+            {"(" + std::to_string(configs[i].k) + "," +
+                 std::to_string(configs[i].d) + ")",
              kdc::format_fixed(standard.max_load_stats.mean(), 2),
              standard.max_load_set(),
              kdc::format_fixed(greedy.max_load_stats.mean(), 2),
@@ -64,32 +126,30 @@ int main(int argc, char** argv) {
 
     std::cout << "Ablation 2 — serialization schedule sigma (Property (i): "
                  "no effect expected)\n\n";
-    kdc::text_table sigma_table;
-    sigma_table.set_header({"sigma", "mean max", "set"});
-    sigma_table.set_align(0, kdc::table_align::left);
-    struct schedule_case {
-        const char* name;
-        kdc::core::sigma_schedule schedule;
-    };
-    const std::uint64_t sk = 8;
-    const std::uint64_t sd = 16;
-    std::vector<schedule_case> schedules;
-    schedules.push_back({"identity", kdc::core::identity_schedule()});
-    schedules.push_back({"reverse", kdc::core::reverse_schedule()});
-    schedules.push_back({"random", kdc::core::random_schedule(seed + 999)});
-    for (const auto& sched : schedules) {
-        const auto result = kdc::core::run_experiment(
-            {.balls = n, .reps = reps, .seed = seed + 31},
-            [n, sk, sd, &sched](std::uint64_t s) {
-                return kdc::core::serialized_process(n, sk, sd, s,
-                                                     sched.schedule);
-            });
-        sigma_table.add_row({sched.name,
-                             kdc::format_fixed(result.max_load_stats.mean(), 2),
-                             result.max_load_set()});
-    }
-    std::cout << sigma_table << '\n'
-              << "All three rows must agree (identical seeds -> identical "
+    kdc::core::sweep_emitter sigma_emitter;
+    sigma_emitter.add_name_column("sigma")
+        .add_stat_column("mean max",
+                         [](const kdc::core::sweep_outcome& outcome) {
+                             return outcome.result.max_load_stats.mean();
+                         })
+        .add_max_load_set_column("set");
+    sigma_emitter.write_table(std::cout, sigma_outcomes);
+    std::cout << "All three rows must agree (identical seeds -> identical "
                  "samples -> identical loads).\n";
+
+    if (args.get_flag("csv")) {
+        kdc::core::sweep_emitter csv_emitter;
+        csv_emitter.add_name_column("cell")
+            .add_stat_column("max_load_mean",
+                             [](const kdc::core::sweep_outcome& outcome) {
+                                 return outcome.result.max_load_stats.mean();
+                             })
+            .add_max_load_set_column("max_load_set");
+        std::cout << "\nCSV:\n";
+        auto all = std::move(policy_outcomes);
+        all.insert(all.end(), std::make_move_iterator(sigma_outcomes.begin()),
+                   std::make_move_iterator(sigma_outcomes.end()));
+        csv_emitter.write_csv(std::cout, all);
+    }
     return 0;
 }

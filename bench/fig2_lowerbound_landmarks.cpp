@@ -6,8 +6,15 @@
 // for a configuration with dk -> infinity (the regime Figure 2 illustrates;
 // default (64,65), dk = 65).
 //
+// Each repetition produces a whole sorted-load profile, so the bench uses
+// the sweep engine's run_grid primitive (core/sweep.hpp): repetitions run on
+// the shared work-stealing pool and are folded in repetition order, keeping
+// the printed profile bit-identical at any --threads value.
+//
 //   ./fig2_lowerbound_landmarks [--n=196608] [--k=64] [--d=65] [--reps=5]
+//                               [--threads=0]
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <iostream>
 
@@ -17,6 +24,17 @@
 #include "support/text_table.hpp"
 #include "theory/bounds.hpp"
 
+namespace {
+
+struct rep_profile {
+    std::vector<double> at_ranks;
+    double b1 = 0.0;
+    double b_gamma_star = 0.0;
+    double b_gamma0 = 0.0;
+};
+
+} // namespace
+
 int main(int argc, char** argv) {
     kdc::arg_parser args;
     args.add_option("n", "196608", "number of bins and balls");
@@ -24,6 +42,7 @@ int main(int argc, char** argv) {
     args.add_option("d", "65", "bins probed per round");
     args.add_option("reps", "5", "independent repetitions to average");
     args.add_option("seed", "2", "master seed");
+    args.add_threads_option();
     if (!args.parse(argc, argv)) {
         return 0;
     }
@@ -34,16 +53,22 @@ int main(int argc, char** argv) {
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
 
     const double dk = kdc::theory::dk_ratio(k, d);
-    const auto gamma_star = static_cast<std::uint64_t>(
-        std::max(1.0, kdc::theory::gamma_star_landmark(n, k, d)));
-    const auto gamma0 = static_cast<std::uint64_t>(
-        std::max(1.0, kdc::theory::gamma0_landmark(n, d)));
+    // Clamp both landmarks into [1, n]: gamma* = 4n/dk exceeds n whenever
+    // dk < 4 (e.g. small k with d >> k), and a rank beyond n would index
+    // past the sorted load vector. The landmark is only meaningful as a rank
+    // of the profile, so the top rank n is the honest saturation point.
+    const auto gamma_star = std::min<std::uint64_t>(
+        n, static_cast<std::uint64_t>(
+               std::max(1.0, kdc::theory::gamma_star_landmark(n, k, d))));
+    const auto gamma0 = std::min<std::uint64_t>(
+        n, static_cast<std::uint64_t>(
+               std::max(1.0, kdc::theory::gamma0_landmark(n, d))));
 
     std::cout << "Figure 2: sorted bin load vector of (" << k << "," << d
               << ")-choice with lower-bound landmarks, n = " << n << "\n"
               << "dk = " << kdc::format_fixed(dk, 2)
-              << ", gamma* = 4n/dk = " << gamma_star
-              << ", gamma0 = n/d = " << gamma0 << "\n\n";
+              << ", gamma* = min(n, 4n/dk) = " << gamma_star
+              << ", gamma0 = min(n, n/d) = " << gamma0 << "\n\n";
 
     std::vector<std::uint64_t> ranks{1, gamma0, gamma_star, n};
     for (std::uint64_t x = 2; x < n; x = x * 2 + 1) {
@@ -52,23 +77,45 @@ int main(int argc, char** argv) {
     std::sort(ranks.begin(), ranks.end());
     ranks.erase(std::unique(ranks.begin(), ranks.end()), ranks.end());
 
+    const auto balls = n - (n % k);
+    const std::array<std::uint32_t, 1> reps_per_cell{reps};
+    kdc::core::thread_pool pool(std::min<unsigned>(
+        kdc::core::resolve_thread_count(args.get_threads()),
+        std::max<std::uint32_t>(reps, 1)));
+    const auto grid = kdc::core::run_grid<rep_profile>(
+        pool, reps_per_cell,
+        [&ranks, n, k, d, seed, balls, gamma_star,
+         gamma0](std::size_t, std::uint32_t rep) {
+            kdc::core::kd_choice_process process(
+                n, k, d, kdc::rng::derive_seed(seed, rep));
+            process.run_balls(balls);
+            const auto sorted =
+                kdc::core::sorted_loads_desc(process.loads());
+            rep_profile profile;
+            profile.at_ranks.reserve(ranks.size());
+            for (const auto rank : ranks) {
+                profile.at_ranks.push_back(
+                    static_cast<double>(sorted[rank - 1]));
+            }
+            profile.b1 = static_cast<double>(sorted.front());
+            profile.b_gamma_star =
+                static_cast<double>(sorted[gamma_star - 1]);
+            profile.b_gamma0 = static_cast<double>(sorted[gamma0 - 1]);
+            return profile;
+        });
+
+    // Fold in repetition order (grid[0] is rep-ordered by construction).
     std::vector<kdc::stats::running_stats> profile(ranks.size());
     kdc::stats::running_stats b1;
     kdc::stats::running_stats b_gamma_star;
     kdc::stats::running_stats b_gamma0;
-
-    const auto balls = n - (n % k);
-    for (std::uint32_t rep = 0; rep < reps; ++rep) {
-        kdc::core::kd_choice_process process(
-            n, k, d, kdc::rng::derive_seed(seed, rep));
-        process.run_balls(balls);
-        const auto sorted = kdc::core::sorted_loads_desc(process.loads());
+    for (const auto& rep : grid[0]) {
         for (std::size_t i = 0; i < ranks.size(); ++i) {
-            profile[i].push(static_cast<double>(sorted[ranks[i] - 1]));
+            profile[i].push(rep.at_ranks[i]);
         }
-        b1.push(static_cast<double>(sorted.front()));
-        b_gamma_star.push(static_cast<double>(sorted[gamma_star - 1]));
-        b_gamma0.push(static_cast<double>(sorted[gamma0 - 1]));
+        b1.push(rep.b1);
+        b_gamma_star.push(rep.b_gamma_star);
+        b_gamma0.push(rep.b_gamma0);
     }
 
     kdc::text_table table;

@@ -6,17 +6,19 @@
 // The d = 1 column is the classical single-choice process; the k = 1 row is
 // the classical d-choice of Azar et al.
 //
-// Repetitions within a cell run on a thread pool (--threads, default: all
-// hardware threads); results are bit-identical to a serial run regardless of
-// thread count because per-rep seeds and the aggregation order are fixed.
+// The whole grid runs as ONE sweep on a shared work-stealing pool
+// (core/sweep.hpp): every (cell, rep) pair is a pool job, so --threads=16
+// stays busy even at --reps=3. Results are bit-identical to a serial run at
+// any thread count because per-rep seeds and the per-cell fold order are
+// fixed.
 //
-//   ./table1_maxload [--n=196608] [--reps=10] [--seed=1] [--threads=0] [--csv]
+//   ./table1_maxload [--n=196608] [--reps=10] [--seed=1] [--threads=0]
+//                    [--csv] [--progress]
 #include <iostream>
 #include <vector>
 
-#include "core/parallel_runner.hpp"
+#include "core/kdchoice.hpp"
 #include "support/cli.hpp"
-#include "support/csv_writer.hpp"
 #include "support/text_table.hpp"
 
 namespace {
@@ -24,6 +26,11 @@ namespace {
 const std::vector<std::uint64_t> k_values{1, 2,  3,  4,  6,  8,  12, 16,
                                           24, 32, 48, 64, 96, 128, 192};
 const std::vector<std::uint64_t> d_values{1, 2, 3, 5, 9, 17, 25, 49, 65, 193};
+
+struct cell_meta {
+    std::uint64_t k = 0;
+    std::uint64_t d = 0;
+};
 
 } // namespace
 
@@ -34,19 +41,66 @@ int main(int argc, char** argv) {
     args.add_option("seed", "1", "master seed");
     args.add_threads_option();
     args.add_flag("csv", "also emit CSV rows (k, d, max-load set, mean)");
+    args.add_flag("progress", "report sweep progress on stderr");
     if (!args.parse(argc, argv)) {
         return 0;
     }
     const auto n = static_cast<std::uint64_t>(args.get_int("n"));
     const auto reps = static_cast<std::uint32_t>(args.get_int("reps"));
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
-    const auto threads = args.get_threads();
+
+    // One cell per valid grid entry, seeded exactly as the original nested
+    // loop did (the counter also advances over invalid '-' cells).
+    std::vector<kdc::core::sweep_cell> cells;
+    std::vector<cell_meta> meta;
+    std::uint64_t cell_seed = seed;
+    for (const auto k : k_values) {
+        for (const auto d : d_values) {
+            ++cell_seed;
+            const std::string name =
+                "k=" + std::to_string(k) + ",d=" + std::to_string(d);
+            if (k >= d) {
+                // d = 1, k = 1 is the single-choice column; everything else
+                // with k >= d is undefined for (k,d)-choice.
+                if (d == 1 && k == 1) {
+                    cells.push_back(kdc::core::make_sweep_cell(
+                        name, {.balls = n, .reps = reps, .seed = cell_seed},
+                        [n](std::uint64_t s) {
+                            return kdc::core::single_choice_process(n, s);
+                        }));
+                    meta.push_back({k, d});
+                }
+                continue;
+            }
+            cells.push_back(kdc::core::make_sweep_cell(
+                name,
+                {.balls = kdc::core::whole_rounds_balls(n, k), .reps = reps,
+                 .seed = cell_seed},
+                [n, k, d](std::uint64_t s) {
+                    return kdc::core::kd_choice_process(n, k, d, s);
+                }));
+            meta.push_back({k, d});
+        }
+    }
+
+    kdc::core::sweep_options options;
+    options.threads = args.get_threads();
+    if (args.get_flag("progress")) {
+        options.progress = [](std::size_t done, std::size_t total) {
+            std::cerr << "\r" << done << "/" << total << " reps done";
+            if (done == total) {
+                std::cerr << '\n';
+            }
+        };
+    }
+    const auto outcomes = kdc::core::run_sweep(cells, options);
 
     std::cout << "Table 1: maximum bin load for (k,d)-choice, n = " << n
               << ", " << reps << " runs per cell\n"
               << "(cells list the distinct max loads seen across runs; '-' "
                  "marks invalid cells with k >= d)\n\n";
 
+    // Pivot the flat outcomes back into the paper's k x d layout.
     kdc::text_table table;
     std::vector<std::string> header{"k \\ d"};
     for (const auto d : d_values) {
@@ -54,46 +108,22 @@ int main(int argc, char** argv) {
     }
     table.set_header(header);
 
-    kdc::csv_writer csv(std::cout);
-    std::vector<std::vector<std::string>> csv_rows;
-
-    std::uint64_t cell_seed = seed;
+    // meta is the single source of which (k,d) cells were computed: a grid
+    // position with no matching meta entry renders as '-'.
+    std::size_t cursor = 0;
     for (const auto k : k_values) {
         std::vector<std::string> row{"k=" + std::to_string(k)};
         for (const auto d : d_values) {
-            ++cell_seed;
-            if (k >= d) {
-                // d = 1, k = 1 is the single-choice column; everything else
-                // with k >= d is undefined for (k,d)-choice.
-                if (d == 1 && k == 1) {
-                    const auto result =
-                        kdc::core::run_single_choice_experiment_parallel(
-                            n, {.balls = n, .reps = reps, .seed = cell_seed},
-                            threads);
-                    row.push_back(result.max_load_set());
-                    csv_rows.push_back({std::to_string(k), std::to_string(d),
-                                        result.max_load_set(),
-                                        kdc::format_fixed(
-                                            result.max_load_stats.mean(), 2)});
-                } else {
-                    row.push_back("-");
-                }
-                continue;
+            if (cursor < outcomes.size() && meta[cursor].k == k &&
+                meta[cursor].d == d) {
+                row.push_back(outcomes[cursor].result.max_load_set());
+                ++cursor;
+            } else {
+                row.push_back("-");
             }
-            const auto result = kdc::core::run_kd_experiment_parallel(
-                n, k, d,
-                {.balls = kdc::core::whole_rounds_balls(n, k), .reps = reps,
-                 .seed = cell_seed},
-                threads);
-            row.push_back(result.max_load_set());
-            csv_rows.push_back({std::to_string(k), std::to_string(d),
-                                result.max_load_set(),
-                                kdc::format_fixed(
-                                    result.max_load_stats.mean(), 2)});
         }
         table.add_row(std::move(row));
     }
-
     std::cout << table << '\n';
 
     std::cout << "Paper reference points (Table 1):\n"
@@ -102,11 +132,25 @@ int main(int argc, char** argv) {
                  "  (2,3): 4    (8,9): 4    (128,193): 2    (192,193): 5, 6\n";
 
     if (args.get_flag("csv")) {
+        kdc::core::sweep_emitter emitter;
+        emitter
+            .add_column("k",
+                        [&meta](const kdc::core::sweep_outcome&,
+                                std::size_t row) {
+                            return std::to_string(meta[row].k);
+                        })
+            .add_column("d",
+                        [&meta](const kdc::core::sweep_outcome&,
+                                std::size_t row) {
+                            return std::to_string(meta[row].d);
+                        })
+            .add_max_load_set_column("max_load_set")
+            .add_stat_column("max_load_mean",
+                             [](const kdc::core::sweep_outcome& outcome) {
+                                 return outcome.result.max_load_stats.mean();
+                             });
         std::cout << "\nCSV:\n";
-        csv.write_row({"k", "d", "max_load_set", "max_load_mean"});
-        for (const auto& row : csv_rows) {
-            csv.write_row(row);
-        }
+        emitter.write_csv(std::cout, outcomes);
     }
     return 0;
 }

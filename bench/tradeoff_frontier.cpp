@@ -10,30 +10,20 @@
 //     max load;
 //   * the adaptive threshold baseline (Czumaj-Stemann flavor) for context.
 //
-// Repetitions run on a thread pool (--threads, default: all hardware
-// threads) with aggregates bit-identical to a serial run.
+// All schemes run as one cross-cell sweep on a shared work-stealing pool
+// (core/sweep.hpp); aggregates are bit-identical to a serial run at any
+// --threads value.
 //
 //   ./tradeoff_frontier [--n=196608] [--reps=10] [--seed=5] [--threads=0]
+//                       [--csv]
 #include <cmath>
 #include <iostream>
 #include <vector>
 
 #include "core/kdchoice.hpp"
-#include "core/parallel_runner.hpp"
 #include "support/cli.hpp"
 #include "support/text_table.hpp"
 #include "theory/bounds.hpp"
-
-namespace {
-
-struct frontier_row {
-    std::string scheme;
-    double messages_per_ball = 0.0;
-    double mean_max = 0.0;
-    std::string max_set;
-};
-
-} // namespace
 
 int main(int argc, char** argv) {
     kdc::arg_parser args;
@@ -41,29 +31,26 @@ int main(int argc, char** argv) {
     args.add_option("reps", "10", "repetitions per scheme");
     args.add_option("seed", "5", "master seed");
     args.add_threads_option();
+    args.add_flag("csv", "also emit CSV rows (scheme, msgs/ball, mean max)");
     if (!args.parse(argc, argv)) {
         return 0;
     }
     const auto n = static_cast<std::uint64_t>(args.get_int("n"));
     const auto reps = static_cast<std::uint32_t>(args.get_int("reps"));
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
-    const auto threads = args.get_threads();
 
     const auto ln_n = static_cast<std::uint64_t>(
         std::log(static_cast<double>(n)));
     // k = Theta(ln^2 n), rounded to divide n reasonably.
     const std::uint64_t k_polylog = ln_n * ln_n; // ~146 at n = 3*2^16
 
-    std::vector<frontier_row> rows;
+    // Cell seeds replicate the original bench: scheme i used seed ^ i.
+    std::vector<kdc::core::sweep_cell> cells;
     auto add_experiment = [&](const std::string& name, auto&& factory,
                               std::uint64_t balls) {
-        const auto result = kdc::core::run_parallel_experiment(
-            {.balls = balls, .reps = reps, .seed = seed ^ rows.size()},
-            factory, threads);
-        rows.push_back(frontier_row{
-            name,
-            result.message_stats.mean() / static_cast<double>(balls),
-            result.max_load_stats.mean(), result.max_load_set()});
+        cells.push_back(kdc::core::make_sweep_cell(
+            name, {.balls = balls, .reps = reps, .seed = seed ^ cells.size()},
+            std::forward<decltype(factory)>(factory)));
     };
 
     add_experiment("single choice", [n](std::uint64_t s) {
@@ -103,18 +90,29 @@ int main(int argc, char** argv) {
         }, balls);
     }
 
+    kdc::core::sweep_options options;
+    options.threads = args.get_threads();
+    const auto outcomes = kdc::core::run_sweep(cells, options);
+
+    kdc::core::sweep_emitter emitter;
+    emitter.add_name_column("scheme")
+        .add_column("msgs/ball",
+                    [](const kdc::core::sweep_outcome& outcome, std::size_t) {
+                        return kdc::format_fixed(
+                            outcome.result.message_stats.mean() /
+                                static_cast<double>(outcome.config.balls),
+                            3);
+                    })
+        .add_stat_column("mean max load",
+                         [](const kdc::core::sweep_outcome& outcome) {
+                             return outcome.result.max_load_stats.mean();
+                         })
+        .add_max_load_set_column();
+
     std::cout << "Max-load vs message-cost frontier at n = " << n << " ("
               << reps << " reps)\n\n";
-    kdc::text_table table;
-    table.set_header({"scheme", "msgs/ball", "mean max load",
-                      "max loads seen"});
-    table.set_align(0, kdc::table_align::left);
-    for (const auto& row : rows) {
-        table.add_row({row.scheme, kdc::format_fixed(row.messages_per_ball, 3),
-                       kdc::format_fixed(row.mean_max, 2), row.max_set});
-    }
-    std::cout << table << '\n'
-              << "Claims to check:\n"
+    emitter.write_table(std::cout, outcomes);
+    std::cout << "Claims to check:\n"
                  "  * (k,2k) with k ~ ln^2 n: ~2 msgs/ball and a max load "
                  "that is a small constant\n"
                  "    (matches 2-choice quality at the same message cost "
@@ -126,5 +124,10 @@ int main(int argc, char** argv) {
                  "  * single choice: Theta(ln n / ln ln n) = "
               << kdc::format_fixed(kdc::theory::single_choice_max_load(n), 2)
               << " predicted.\n";
+
+    if (args.get_flag("csv")) {
+        std::cout << "\nCSV:\n";
+        emitter.write_csv(std::cout, outcomes);
+    }
     return 0;
 }

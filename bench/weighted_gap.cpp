@@ -7,14 +7,32 @@
 // heavy-tailed weights (Pareto) inflate every scheme's gap toward the
 // single-ball dominance regime where the placement policy stops mattering.
 //
-//   ./weighted_gap [--n=65536] [--rounds-factor=4] [--reps=5]
+// Weighted observations are doubles, so this bench sits on the sweep
+// engine's run_grid primitive (core/sweep.hpp) rather than repetition_result
+// cells: every (cell, rep) pair still runs on one shared work-stealing pool
+// and folds in repetition order, so output is bit-identical at any
+// --threads value.
+//
+//   ./weighted_gap [--n=65536] [--rounds-factor=4] [--reps=5] [--threads=0]
+//                  [--csv]
 #include <iostream>
 #include <vector>
 
+#include "core/sweep.hpp"
 #include "core/weighted.hpp"
 #include "stats/running_stats.hpp"
 #include "support/cli.hpp"
+#include "support/csv_writer.hpp"
 #include "support/text_table.hpp"
+
+namespace {
+
+struct rep_observation {
+    double gap = 0.0;
+    double max_load = 0.0;
+};
+
+} // namespace
 
 int main(int argc, char** argv) {
     kdc::arg_parser args;
@@ -23,6 +41,8 @@ int main(int argc, char** argv) {
                     "rounds = factor * n / k (total balls = factor * n)");
     args.add_option("reps", "5", "repetitions per cell");
     args.add_option("seed", "11", "master seed");
+    args.add_threads_option();
+    args.add_flag("csv", "also emit CSV rows (weights, k, d, gap, max)");
     if (!args.parse(argc, argv)) {
         return 0;
     }
@@ -47,6 +67,43 @@ int main(int argc, char** argv) {
     };
     const std::vector<kd_case> kd_cases{{1, 2}, {2, 4}, {8, 16}, {31, 32}};
 
+    // Flatten the weights x (k,d) grid into cells. The original serial bench
+    // advanced the master seed once per *repetition* (derive_seed(++cell_seed,
+    // rep)); precompute the identical per-rep master seeds so the sweep
+    // reproduces its numbers byte-for-byte.
+    struct grid_cell {
+        const weight_case* weights;
+        kd_case kd;
+        std::vector<std::uint64_t> rep_masters;
+    };
+    std::vector<grid_cell> grid_cells;
+    std::uint64_t cell_seed = seed;
+    for (const auto& w : weight_cases) {
+        for (const auto& kd : kd_cases) {
+            grid_cell cell{&w, kd, {}};
+            cell.rep_masters.reserve(reps);
+            for (std::uint32_t rep = 0; rep < reps; ++rep) {
+                cell.rep_masters.push_back(++cell_seed);
+            }
+            grid_cells.push_back(std::move(cell));
+        }
+    }
+
+    const std::vector<std::uint32_t> reps_per_cell(grid_cells.size(), reps);
+    kdc::core::thread_pool pool(
+        kdc::core::resolve_thread_count(args.get_threads()));
+    const auto grid = kdc::core::run_grid<rep_observation>(
+        pool, reps_per_cell,
+        [&grid_cells, n, factor](std::size_t c, std::uint32_t rep) {
+            const auto& cell = grid_cells[c];
+            kdc::core::weighted_kd_process process(
+                n, cell.kd.k, cell.kd.d,
+                kdc::rng::derive_seed(cell.rep_masters[rep], rep),
+                cell.weights->dist);
+            process.run_rounds(factor * n / cell.kd.k);
+            return rep_observation{process.gap(), process.max_load()};
+        });
+
     std::cout << "Weighted (k,d)-choice gap, n = " << n << ", "
               << factor << "n total weight-1-mean balls, " << reps
               << " reps\n\n";
@@ -54,29 +111,37 @@ int main(int argc, char** argv) {
     table.set_header({"weights", "(k,d)", "mean gap", "mean max load"});
     table.set_align(0, kdc::table_align::left);
 
-    std::uint64_t cell_seed = seed;
-    for (const auto& w : weight_cases) {
-        for (const auto& kd : kd_cases) {
-            kdc::stats::running_stats gap_stats;
-            kdc::stats::running_stats max_stats;
-            for (std::uint32_t rep = 0; rep < reps; ++rep) {
-                kdc::core::weighted_kd_process process(
-                    n, kd.k, kd.d,
-                    kdc::rng::derive_seed(++cell_seed, rep), w.dist);
-                process.run_rounds(factor * n / kd.k);
-                gap_stats.push(process.gap());
-                max_stats.push(process.max_load());
-            }
-            table.add_row({w.name,
-                           "(" + std::to_string(kd.k) + "," +
-                               std::to_string(kd.d) + ")",
-                           kdc::format_fixed(gap_stats.mean(), 3),
-                           kdc::format_fixed(max_stats.mean(), 3)});
+    std::vector<std::vector<std::string>> csv_rows;
+    for (std::size_t c = 0; c < grid_cells.size(); ++c) {
+        kdc::stats::running_stats gap_stats;
+        kdc::stats::running_stats max_stats;
+        for (const auto& obs : grid[c]) { // fold in repetition order
+            gap_stats.push(obs.gap);
+            max_stats.push(obs.max_load);
         }
+        const auto& cell = grid_cells[c];
+        table.add_row({cell.weights->name,
+                       "(" + std::to_string(cell.kd.k) + "," +
+                           std::to_string(cell.kd.d) + ")",
+                       kdc::format_fixed(gap_stats.mean(), 3),
+                       kdc::format_fixed(max_stats.mean(), 3)});
+        csv_rows.push_back({cell.weights->name, std::to_string(cell.kd.k),
+                            std::to_string(cell.kd.d),
+                            kdc::format_fixed(gap_stats.mean(), 3),
+                            kdc::format_fixed(max_stats.mean(), 3)});
     }
     std::cout << table << '\n'
               << "Shapes: within each weight family the gap shrinks with "
                  "more probes per ball\n"
                  "(smaller k/d ratio); heavier tails raise all gaps.\n";
+
+    if (args.get_flag("csv")) {
+        std::cout << "\nCSV:\n";
+        kdc::csv_writer csv(std::cout);
+        csv.write_row({"weights", "k", "d", "mean_gap", "mean_max_load"});
+        for (const auto& row : csv_rows) {
+            csv.write_row(row);
+        }
+    }
     return 0;
 }

@@ -18,6 +18,7 @@
 #include "core/round_kernel.hpp" // one-round primitive (advanced use)
 #include "core/runner.hpp"      // multi-repetition experiments
 #include "core/serialized.hpp"  // Definition 1 serialization
+#include "core/sweep.hpp"       // cross-cell grid sweeps on a shared pool
 #include "core/threshold.hpp"   // Definition 3 SA_{x0}
 #include "core/types.hpp"
 #include "core/weighted.hpp"    // weighted (k,d)-choice

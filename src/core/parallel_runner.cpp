@@ -1,18 +1,24 @@
 #include "core/parallel_runner.hpp"
 
+#include "rng/splitmix64.hpp"
+
 namespace kdc::core {
 
 thread_pool::thread_pool(unsigned threads) {
     KD_EXPECTS_MSG(threads >= 1, "a thread pool needs at least one worker");
+    deques_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i) {
+        deques_.push_back(std::make_unique<worker_deque>());
+    }
     workers_.reserve(threads);
     for (unsigned i = 0; i < threads; ++i) {
-        workers_.emplace_back([this] { worker_loop(); });
+        workers_.emplace_back([this, i] { worker_loop(i); });
     }
 }
 
 thread_pool::~thread_pool() {
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const std::lock_guard<std::mutex> lock(control_mutex_);
         stopping_ = true;
     }
     work_available_.notify_all();
@@ -23,36 +29,90 @@ thread_pool::~thread_pool() {
 
 void thread_pool::submit(std::function<void()> job) {
     KD_EXPECTS_MSG(job != nullptr, "cannot submit an empty job");
+    const std::size_t slot =
+        next_deque_.fetch_add(1, std::memory_order_relaxed) % deques_.size();
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const std::lock_guard<std::mutex> control(control_mutex_);
         KD_EXPECTS_MSG(!stopping_, "pool is shutting down");
-        queue_.push_back(std::move(job));
+        {
+            const std::lock_guard<std::mutex> dq(deques_[slot]->mutex);
+            deques_[slot]->jobs.push_back(std::move(job));
+        }
+        ++unclaimed_;
         ++in_flight_;
     }
     work_available_.notify_one();
 }
 
 void thread_pool::wait_idle() {
-    std::unique_lock<std::mutex> lock(mutex_);
+    std::unique_lock<std::mutex> lock(control_mutex_);
     all_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
-void thread_pool::worker_loop() {
+bool thread_pool::try_pop_front(std::size_t queue_index,
+                                std::function<void()>& job) {
+    auto& dq = *deques_[queue_index];
+    const std::lock_guard<std::mutex> lock(dq.mutex);
+    if (dq.jobs.empty()) {
+        return false;
+    }
+    job = std::move(dq.jobs.front());
+    dq.jobs.pop_front();
+    return true;
+}
+
+bool thread_pool::try_steal_back(std::size_t queue_index,
+                                 std::function<void()>& job) {
+    auto& dq = *deques_[queue_index];
+    const std::lock_guard<std::mutex> lock(dq.mutex);
+    if (dq.jobs.empty()) {
+        return false;
+    }
+    job = std::move(dq.jobs.back());
+    dq.jobs.pop_back();
+    return true;
+}
+
+void thread_pool::worker_loop(unsigned index) {
+    // Victim selection only needs decorrelation between workers, never
+    // reproducibility: a per-worker SplitMix64 stream is plenty.
+    rng::splitmix64 victim_rng(rng::derive_seed(0x5745454Bu, index));
     for (;;) {
-        std::function<void()> job;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
+            std::unique_lock<std::mutex> lock(control_mutex_);
             work_available_.wait(
-                lock, [this] { return stopping_ || !queue_.empty(); });
-            if (queue_.empty()) {
-                return; // stopping_ and drained
+                lock, [this] { return stopping_ || unclaimed_ > 0; });
+            if (unclaimed_ == 0) {
+                return; // stopping_ and every job claimed
             }
-            job = std::move(queue_.front());
-            queue_.pop_front();
+            // Claim a ticket: exactly one pushed-but-untaken job is now
+            // reserved for this worker, so the scan below must succeed.
+            --unclaimed_;
+        }
+        std::function<void()> job;
+        while (!try_pop_front(index, job)) {
+            const std::size_t start =
+                static_cast<std::size_t>(victim_rng()) % deques_.size();
+            bool stolen = false;
+            for (std::size_t i = 0; i < deques_.size() && !stolen; ++i) {
+                const std::size_t victim = (start + i) % deques_.size();
+                if (victim == index) {
+                    continue;
+                }
+                stolen = try_steal_back(victim, job);
+            }
+            if (stolen) {
+                break;
+            }
+            // A reserved job always sits in some deque (push and ticket
+            // count share one critical section), but concurrent claimers
+            // can empty a deque behind this scan while a new job lands in
+            // one already visited; yield and rescan.
+            std::this_thread::yield();
         }
         job();
         {
-            const std::lock_guard<std::mutex> lock(mutex_);
+            const std::lock_guard<std::mutex> lock(control_mutex_);
             --in_flight_;
             if (in_flight_ == 0) {
                 all_done_.notify_all();

@@ -12,22 +12,36 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <condition_variable>
+#include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
+#include <span>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "core/runner.hpp"
 
 namespace kdc::core {
 
-/// Fixed-size pool of worker threads draining a FIFO job queue. Small by
-/// design: submit() and wait_idle() are all the experiment runner needs.
-/// Jobs must not throw (run_repetitions wraps user code and captures the
-/// first exception itself).
+/// Work-stealing pool of worker threads. Each worker owns a deque of jobs;
+/// submit() distributes jobs round-robin across the deques, a worker drains
+/// its own deque front-first (FIFO) and, when empty, steals from the back of
+/// a random victim's deque. The external API is unchanged from the original
+/// FIFO pool — submit() and wait_idle() are all the experiment and sweep
+/// runners need — and scheduling order never influences results: callers
+/// fold per-job outputs in a fixed order of their own.
+///
+/// Jobs must not throw (run_repetitions and run_sweep wrap user code and
+/// capture the first exception themselves). submit() is safe from any
+/// thread, including from inside a running job; wait_idle() must be called
+/// from outside the pool's own workers.
 class thread_pool {
 public:
     /// Spawns `threads` workers (>= 1 enforced by contract).
@@ -50,14 +64,34 @@ public:
     }
 
 private:
-    void worker_loop();
+    /// One worker's job deque. Guarded by its own mutex so pushes, local
+    /// pops and steals on different workers never contend with each other;
+    /// the control mutex below is only taken for the brief counter updates.
+    struct worker_deque {
+        std::mutex mutex;
+        std::deque<std::function<void()>> jobs;
+    };
 
-    std::mutex mutex_;
+    void worker_loop(unsigned index);
+    [[nodiscard]] bool try_pop_front(std::size_t queue_index,
+                                     std::function<void()>& job);
+    [[nodiscard]] bool try_steal_back(std::size_t queue_index,
+                                      std::function<void()>& job);
+
+    std::vector<std::unique_ptr<worker_deque>> deques_;
+
+    // Counter invariant (both guarded by control_mutex_): a job is pushed to
+    // a deque and counted in one critical section, so once a worker claims a
+    // ticket (decrements unclaimed_) a matching job is guaranteed to sit in
+    // some deque until that worker takes it.
+    std::mutex control_mutex_;
     std::condition_variable work_available_;
     std::condition_variable all_done_;
-    std::deque<std::function<void()>> queue_;
-    std::size_t in_flight_ = 0;  // queued + currently executing jobs
+    std::size_t unclaimed_ = 0;  // pushed but not yet claimed by a worker
+    std::size_t in_flight_ = 0;  // unclaimed + currently executing jobs
     bool stopping_ = false;
+
+    std::atomic<std::size_t> next_deque_{0};  // round-robin submit cursor
     std::vector<std::thread> workers_;
 };
 
@@ -66,46 +100,85 @@ private:
 /// taken literally.
 [[nodiscard]] unsigned resolve_thread_count(unsigned requested) noexcept;
 
-namespace detail {
+/// Optional progress hook for grid runs: called after every finished
+/// (cell, rep) job with the number of completed jobs and the grid total.
+/// Calls are serialized by an internal mutex and `completed` is strictly
+/// increasing, but they come from worker threads — write to stderr, never
+/// to the stream carrying the run's deterministic output.
+using sweep_progress =
+    std::function<void(std::size_t completed, std::size_t total)>;
 
-/// Runs reps repetitions of `factory` on `pool`, writing slot r of the
-/// returned vector from seed derive_seed(seed, r). Rethrows the first
-/// exception any repetition threw (remaining reps still run to completion so
-/// the pool is quiescent on return).
-template <typename Factory>
-[[nodiscard]] std::vector<repetition_result>
-run_repetitions(thread_pool& pool, const experiment_config& config,
-                Factory&& factory) {
-    std::vector<repetition_result> results(config.reps);
+/// Low-level grid primitive: runs reps_per_cell[c] jobs for every cell c on
+/// the shared pool and returns the per-cell, per-rep results in a
+/// grid[cell][rep] layout. `run(cell, rep)` must be callable concurrently
+/// from many threads and is invoked exactly once per pair, in no particular
+/// order; the *placement* of results is by index, so folding grid[c] in rep
+/// order afterwards is deterministic. Rethrows the first exception any job
+/// (or the progress hook) threw — the grid still runs to completion so the
+/// pool is quiescent on return.
+///
+/// run_parallel_experiment below is the one-cell case; core/sweep.hpp
+/// builds named multi-cell sweeps and shared emission on top.
+template <typename T, typename RunFn>
+[[nodiscard]] std::vector<std::vector<T>>
+run_grid(thread_pool& pool, std::span<const std::uint32_t> reps_per_cell,
+         RunFn&& run, const sweep_progress& progress = {}) {
+    // std::vector<bool> packs bits: adjacent rep slots would share a byte
+    // and concurrent writes from workers would race. Wrap bools in a struct.
+    static_assert(!std::is_same_v<T, bool>,
+                  "run_grid<bool> is unsafe: vector<bool> slots are not "
+                  "independent objects");
+    std::vector<std::vector<T>> grid(reps_per_cell.size());
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < reps_per_cell.size(); ++c) {
+        KD_EXPECTS_MSG(reps_per_cell[c] >= 1,
+                       "every grid cell needs at least one repetition");
+        grid[c].resize(reps_per_cell[c]);
+        total += reps_per_cell[c];
+    }
     std::exception_ptr first_error;
     std::mutex error_mutex;
-    for (std::uint32_t rep = 0; rep < config.reps; ++rep) {
-        pool.submit([&, rep] {
-            try {
-                results[rep] =
-                    run_one_repetition(rng::derive_seed(config.seed, rep),
-                                       config.balls, factory);
-            } catch (...) {
-                const std::lock_guard<std::mutex> lock(error_mutex);
-                if (!first_error) {
-                    first_error = std::current_exception();
+    std::size_t completed = 0;
+    std::mutex progress_mutex;
+    auto capture_error = [&] {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) {
+            first_error = std::current_exception();
+        }
+    };
+    for (std::size_t c = 0; c < grid.size(); ++c) {
+        for (std::uint32_t rep = 0; rep < reps_per_cell[c]; ++rep) {
+            pool.submit([&, c, rep] {
+                try {
+                    grid[c][rep] = run(c, rep);
+                } catch (...) {
+                    capture_error();
                 }
-            }
-        });
+                if (progress) {
+                    // Pool jobs must not throw; a throwing hook is captured
+                    // like a failing repetition.
+                    try {
+                        const std::lock_guard<std::mutex> lock(progress_mutex);
+                        progress(++completed, total);
+                    } catch (...) {
+                        capture_error();
+                    }
+                }
+            });
+        }
     }
     pool.wait_idle();
     if (first_error) {
         std::rethrow_exception(first_error);
     }
-    return results;
+    return grid;
 }
 
-} // namespace detail
-
-/// Parallel counterpart of run_experiment. `factory(seed)` must be callable
-/// concurrently from multiple threads (every factory in this repo is: it
-/// only captures experiment parameters by value). `threads` = 0 uses all
-/// hardware threads; the pool never holds more workers than reps.
+/// Parallel counterpart of run_experiment: the one-cell run_grid. The
+/// factory must be callable concurrently from multiple threads (every
+/// factory in this repo is: it only captures experiment parameters by
+/// value). `threads` = 0 uses all hardware threads; the pool never holds
+/// more workers than reps.
 ///
 /// Guarantee: the result — reps vector, histogram, and every running_stats
 /// aggregate — is bit-identical to run_experiment(config, factory).
@@ -120,12 +193,17 @@ run_parallel_experiment(const experiment_config& config, Factory&& factory,
     const unsigned workers =
         std::min<unsigned>(resolved, config.reps);
     thread_pool pool(workers);
-    auto reps = detail::run_repetitions(pool, config, factory);
+    const std::uint32_t one_cell[1]{config.reps};
+    auto grid = run_grid<repetition_result>(
+        pool, one_cell, [&](std::size_t, std::uint32_t rep) {
+            return run_one_repetition(rng::derive_seed(config.seed, rep),
+                                      config.balls, factory);
+        });
 
     // Fold in repetition order: running_stats and the histogram see exactly
     // the sequence the serial runner feeds them, so aggregates match bitwise.
     experiment_result out;
-    out.reps = std::move(reps);
+    out.reps = std::move(grid[0]);
     for (const auto& r : out.reps) {
         accumulate_repetition(out, r);
     }

@@ -1,0 +1,140 @@
+// Cross-cell sweep engine: runs a whole parameter grid — many named
+// experiment cells, each with its own repetition count — on ONE shared
+// work-stealing thread pool, instead of parallelizing only within a cell.
+//
+// The paper's headline artifacts (Table 1 over the (k,d) grid, the tradeoff
+// frontier, the d*k = Theta(log n) landmark sweeps) are grids of independent
+// cells; scheduling every (cell, rep) pair onto one pool keeps all hardware
+// threads busy even when individual cells have few repetitions.
+//
+// Determinism contract, inherited from core/runner.hpp: repetition r of a
+// cell always runs with rng::derive_seed(cell.config.seed, r), and each
+// cell's repetitions are folded in repetition order. The returned outcomes
+// are therefore bit-identical to running every cell serially with
+// run_experiment — at any thread count, under any steal schedule.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/parallel_runner.hpp"
+#include "support/text_table.hpp"
+
+namespace kdc::core {
+
+/// One named cell of a sweep: an experiment configuration plus a type-erased
+/// per-repetition runner. `run_rep(derived_seed)` receives the already
+/// derived seed for its repetition and must be callable concurrently.
+struct sweep_cell {
+    std::string name;
+    experiment_config config;
+    std::function<repetition_result(std::uint64_t derived_seed)> run_rep;
+};
+
+/// Builds a sweep_cell from a process factory (the same factory shape the
+/// serial and parallel runners accept). The factory must be const-callable:
+/// repetitions of the cell invoke it concurrently. config.balls must be the
+/// resolved ball count (>= 1); use whole_rounds_balls for the k-round
+/// default.
+template <typename Factory>
+[[nodiscard]] sweep_cell make_sweep_cell(std::string name,
+                                         const experiment_config& config,
+                                         Factory factory) {
+    KD_EXPECTS(config.reps >= 1);
+    KD_EXPECTS(config.balls >= 1);
+    return sweep_cell{
+        std::move(name), config,
+        [factory = std::move(factory),
+         balls = config.balls](std::uint64_t derived_seed) {
+            return run_one_repetition(derived_seed, balls, factory);
+        }};
+}
+
+/// One cell's folded outcome; `result` is bit-identical to
+/// run_experiment(config, factory) on the same cell.
+struct sweep_outcome {
+    std::string name;
+    experiment_config config;
+    experiment_result result;
+};
+
+/// Options for the pool-owning run_sweep overload.
+struct sweep_options {
+    /// Worker threads, resolved by resolve_thread_count (0 = all hardware
+    /// threads); the pool is capped at the grid's total job count.
+    unsigned threads = 0;
+    sweep_progress progress;
+};
+
+/// Runs every (cell, rep) pair of the grid on the caller's pool and folds
+/// each cell in repetition order. Sharing one pool across successive sweeps
+/// (e.g. the two ablation phases of a bench) avoids re-spawning workers.
+/// Must be called from outside the pool's own workers.
+[[nodiscard]] std::vector<sweep_outcome>
+run_sweep(thread_pool& pool, const std::vector<sweep_cell>& cells,
+          const sweep_progress& progress = {});
+
+/// Convenience overload: spins up a private pool sized by options.threads
+/// and runs the grid on it. An empty grid returns an empty vector without
+/// creating a pool.
+[[nodiscard]] std::vector<sweep_outcome>
+run_sweep(const std::vector<sweep_cell>& cells,
+          const sweep_options& options = {});
+
+/// Structured emission for sweep outcomes: declare columns once, then render
+/// the same rows as an aligned text table and/or CSV. Replaces the
+/// per-bench re-implementations of "build text_table rows / build csv rows"
+/// for every bench whose rows are one-outcome-per-row.
+class sweep_emitter {
+public:
+    /// Renders one column value. `row_index` is the outcome's position in
+    /// the emitted vector, so benches can look up side metadata (e.g. the
+    /// (k, d) pair a cell was built from).
+    using value_fn = std::function<std::string(const sweep_outcome& outcome,
+                                               std::size_t row_index)>;
+
+    /// Appends a column. Returns *this for chaining.
+    sweep_emitter& add_column(std::string header, value_fn value,
+                              table_align align = table_align::right);
+
+    /// Canned column: the cell name (left-aligned by convention).
+    sweep_emitter& add_name_column(std::string header = "cell");
+
+    /// Canned column: the paper's Table-1 "distinct max loads" set.
+    sweep_emitter& add_max_load_set_column(
+        std::string header = "max loads seen");
+
+    /// Canned column: any scalar statistic of the outcome, fixed-precision.
+    sweep_emitter& add_stat_column(
+        std::string header,
+        std::function<double(const sweep_outcome&)> stat, int precision = 2);
+
+    /// Renders the outcomes as an aligned text_table (header + one row per
+    /// outcome, column alignments applied).
+    [[nodiscard]] text_table
+    to_table(const std::vector<sweep_outcome>& outcomes) const;
+
+    /// Streams to_table() followed by a newline.
+    void write_table(std::ostream& out,
+                     const std::vector<sweep_outcome>& outcomes) const;
+
+    /// Streams an RFC-4180 CSV: a header row of column names, then one row
+    /// per outcome.
+    void write_csv(std::ostream& out,
+                   const std::vector<sweep_outcome>& outcomes) const;
+
+private:
+    struct column {
+        std::string header;
+        value_fn value;
+        table_align align;
+    };
+    std::vector<column> columns_;
+};
+
+} // namespace kdc::core

@@ -23,8 +23,9 @@ void arg_parser::add_flag(std::string name, std::string help) {
 
 void arg_parser::add_threads_option() {
     add_option("threads", "0",
-               "worker threads for repetition sweeps (0 = all hardware "
-               "threads)");
+               "worker threads shared by the whole sweep: every cell and "
+               "repetition runs on one work-stealing pool (0 = all hardware "
+               "threads); never changes reported numbers");
 }
 
 unsigned arg_parser::get_threads() const {

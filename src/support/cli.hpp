@@ -27,13 +27,16 @@ public:
     /// Declares a boolean flag (false unless present).
     void add_flag(std::string name, std::string help);
 
-    /// Declares the standard `--threads` option shared by the parallel
-    /// sweeps: 0 (the default) means "use all hardware threads".
+    /// Declares the standard `--threads` option shared by the sweep
+    /// binaries. The value sizes ONE work-stealing pool that all cells and
+    /// repetitions of the binary's sweeps share (cross-cell parallelism,
+    /// not just reps within one experiment); output is bit-identical at any
+    /// thread count.
     void add_threads_option();
 
-    /// Parsed `--threads` value. 0 (the default) is the "use all hardware
-    /// threads" sentinel understood by the parallel runner; negative values
-    /// are rejected with cli_error.
+    /// Parsed `--threads` value; negative values are rejected with
+    /// cli_error. The 0 sentinel ("use all hardware threads") is resolved by
+    /// core::resolve_thread_count — the one place that semantic lives.
     [[nodiscard]] unsigned get_threads() const;
 
     /// Parses argv. Throws cli_error on unknown/malformed options.

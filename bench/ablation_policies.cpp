@@ -15,6 +15,7 @@
 //
 //   ./ablation_policies [--n=196608] [--reps=10] [--seed=8] [--threads=0]
 //                       [--csv]
+//                       [--adaptive --ci-width=0.4 --min-reps=3 --max-reps=40]
 #include <iostream>
 #include <vector>
 
@@ -28,6 +29,7 @@ int main(int argc, char** argv) {
     args.add_option("reps", "10", "repetitions per configuration");
     args.add_option("seed", "8", "master seed");
     args.add_threads_option();
+    args.add_adaptive_options();
     args.add_flag("csv", "also emit CSV rows (cell, mean max, set)");
     if (!args.parse(argc, argv)) {
         return 0;
@@ -96,13 +98,14 @@ int main(int argc, char** argv) {
             }));
     }
 
-    // One pool serves both phases — nested sweeps share workers instead of
-    // re-spawning them.
-    kdc::core::thread_pool pool(
-        kdc::core::resolve_thread_count(args.get_threads()));
+    // The process-wide persistent pool serves both phases — nested sweeps
+    // share workers instead of re-spawning them.
+    kdc::core::sweep_options options;
+    options.stopping = kdc::core::stopping_rule_from_cli(args);
+    auto& pool = kdc::core::persistent_pool(args.get_threads());
     // Not const: the --csv path at the end moves both into one vector.
-    auto policy_outcomes = kdc::core::run_sweep(pool, policy_cells);
-    auto sigma_outcomes = kdc::core::run_sweep(pool, sigma_cells);
+    auto policy_outcomes = kdc::core::run_sweep(pool, policy_cells, options);
+    auto sigma_outcomes = kdc::core::run_sweep(pool, sigma_cells, options);
 
     std::cout << "Ablation 1 — multiplicity rule vs Section 7 greedy "
                  "policy, n = " << n << "\n\n";
@@ -140,6 +143,7 @@ int main(int argc, char** argv) {
     if (args.get_flag("csv")) {
         kdc::core::sweep_emitter csv_emitter;
         csv_emitter.add_name_column("cell")
+            .add_reps_column()
             .add_stat_column("max_load_mean",
                              [](const kdc::core::sweep_outcome& outcome) {
                                  return outcome.result.max_load_stats.mean();

@@ -11,17 +11,38 @@
 // It also prints the nu_y profile against the Lemma 2 / Theorem 3 style
 // envelope nu_y <= 8n / y!.
 //
+// Each repetition produces a whole sorted-load profile, so the bench sits
+// on the execution engine's run_engine_grid (core/engine.hpp): repetitions
+// run on the process-wide persistent pool and fold in repetition order, so
+// output is bit-identical at any --threads value. Under --adaptive the
+// confidence_width rule monitors the per-repetition max load B_1.
+//
 //   ./fig1_sorted_load [--n=196608] [--k=4] [--d=8] [--seed=1] [--reps=5]
+//                      [--threads=0] [--csv]
+//                      [--adaptive --ci-width=0.4 --max-reps=40]
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <iostream>
 
 #include "core/kdchoice.hpp"
+#include "rank_profile.hpp"
 #include "stats/running_stats.hpp"
 #include "stats/special_functions.hpp"
 #include "support/cli.hpp"
 #include "support/text_table.hpp"
 #include "theory/bounds.hpp"
+
+namespace {
+
+struct rep_profile {
+    std::vector<double> at_ranks;
+    std::vector<std::uint64_t> nu;
+    double b1 = 0.0;
+    double b_beta0 = 0.0;
+};
+
+} // namespace
 
 int main(int argc, char** argv) {
     kdc::arg_parser args;
@@ -30,6 +51,9 @@ int main(int argc, char** argv) {
     args.add_option("d", "8", "bins probed per round");
     args.add_option("reps", "5", "independent repetitions to average");
     args.add_option("seed", "1", "master seed");
+    args.add_threads_option();
+    args.add_adaptive_options();
+    args.add_flag("csv", "also emit CSV rows (rank, mean B_x, landmark)");
     if (!args.parse(argc, argv)) {
         return 0;
     }
@@ -43,12 +67,6 @@ int main(int argc, char** argv) {
     const auto beta0 = static_cast<std::uint64_t>(
         std::max(1.0, kdc::theory::beta0_landmark(n, k, d)));
 
-    std::cout << "Figure 1: sorted bin load vector of (" << k << "," << d
-              << ")-choice, n = " << n << ", averaged over " << reps
-              << " runs\n"
-              << "dk = d/(d-k) = " << kdc::format_fixed(dk, 3)
-              << ", landmark beta0 = n/(6 dk) = " << beta0 << "\n\n";
-
     // Geometrically spaced ranks plus the landmarks.
     std::vector<std::uint64_t> ranks{1};
     for (std::uint64_t x = 2; x < n; x = x * 3 / 2 + 1) {
@@ -59,35 +77,63 @@ int main(int argc, char** argv) {
     std::sort(ranks.begin(), ranks.end());
     ranks.erase(std::unique(ranks.begin(), ranks.end()), ranks.end());
 
+    const auto balls = n - (n % k);
+    const std::array<std::uint32_t, 1> reps_per_cell{reps};
+    auto& pool = kdc::core::persistent_pool(args.get_threads());
+    const auto grid = kdc::core::run_engine_grid<rep_profile>(
+        pool, reps_per_cell,
+        [&ranks, n, k, d, seed, balls, beta0](std::size_t,
+                                              std::uint32_t rep) {
+            kdc::core::kd_choice_process process(
+                n, k, d, kdc::rng::derive_seed(seed, rep));
+            process.run_balls(balls);
+            const auto sorted =
+                kdc::core::sorted_loads_desc(process.loads());
+            rep_profile profile;
+            profile.at_ranks.reserve(ranks.size());
+            for (const auto rank : ranks) {
+                profile.at_ranks.push_back(
+                    static_cast<double>(sorted[rank - 1]));
+            }
+            profile.b1 = static_cast<double>(sorted.front());
+            profile.b_beta0 = static_cast<double>(sorted[beta0 - 1]);
+            profile.nu = kdc::core::nu_profile(process.loads());
+            return profile;
+        },
+        // Adaptive mode monitors the max load B_1 of each repetition.
+        [](const rep_profile& profile) { return profile.b1; },
+        kdc::core::stopping_rule_from_cli(args));
+
+    // Fold in repetition order (grid[0] is rep-ordered by construction).
     std::vector<kdc::stats::running_stats> profile(ranks.size());
     kdc::stats::running_stats b1_stats;
     kdc::stats::running_stats b_beta0_stats;
     std::vector<kdc::stats::running_stats> nu_stats;
-
-    const auto balls = n - (n % k);
-    for (std::uint32_t rep = 0; rep < reps; ++rep) {
-        kdc::core::kd_choice_process process(
-            n, k, d, kdc::rng::derive_seed(seed, rep));
-        process.run_balls(balls);
-        const auto sorted = kdc::core::sorted_loads_desc(process.loads());
+    for (const auto& rep : grid[0]) {
         for (std::size_t i = 0; i < ranks.size(); ++i) {
-            profile[i].push(static_cast<double>(sorted[ranks[i] - 1]));
+            profile[i].push(rep.at_ranks[i]);
         }
-        b1_stats.push(static_cast<double>(sorted.front()));
-        b_beta0_stats.push(static_cast<double>(sorted[beta0 - 1]));
-
-        const auto nu = kdc::core::nu_profile(process.loads());
-        if (nu.size() > nu_stats.size()) {
-            nu_stats.resize(nu.size());
+        b1_stats.push(rep.b1);
+        b_beta0_stats.push(rep.b_beta0);
+        if (rep.nu.size() > nu_stats.size()) {
+            nu_stats.resize(rep.nu.size());
         }
         for (std::size_t y = 0; y < nu_stats.size(); ++y) {
             nu_stats[y].push(
-                y < nu.size() ? static_cast<double>(nu[y]) : 0.0);
+                y < rep.nu.size() ? static_cast<double>(rep.nu[y]) : 0.0);
         }
     }
 
-    kdc::text_table table;
-    table.set_header({"rank x", "B_x (mean)", "note"});
+    std::cout << "Figure 1: sorted bin load vector of (" << k << "," << d
+              << ")-choice, n = " << n << ", averaged over "
+              << grid[0].size() << " runs\n"
+              << "dk = d/(d-k) = " << kdc::format_fixed(dk, 3)
+              << ", landmark beta0 = n/(6 dk) = " << beta0 << "\n\n";
+
+    // Shared emission path: the same columns render the text table and the
+    // --csv output (bench/rank_profile.hpp).
+    std::vector<kdc_bench::rank_row> rows;
+    rows.reserve(ranks.size());
     for (std::size_t i = 0; i < ranks.size(); ++i) {
         std::string note;
         if (ranks[i] == beta0) {
@@ -95,10 +141,10 @@ int main(int argc, char** argv) {
         } else if (ranks[i] == 1) {
             note = "<- max load B_1";
         }
-        table.add_row({std::to_string(ranks[i]),
-                       kdc::format_fixed(profile[i].mean(), 2), note});
+        rows.push_back({ranks[i], profile[i].mean(), std::move(note)});
     }
-    std::cout << table << '\n';
+    const auto emitter = kdc_bench::make_rank_profile_emitter();
+    emitter.write_table(std::cout, rows);
 
     // The decomposition of Section 4 with its two theorem bounds.
     const auto bound = kdc::theory::theorem1_bound(n, k, d);
@@ -129,5 +175,10 @@ int main(int argc, char** argv) {
     }
     std::cout << "nu_y (bins with load >= y) vs the Lemma 2 envelope:\n"
               << nu_table;
+
+    if (args.get_flag("csv")) {
+        std::cout << "\nCSV:\n";
+        emitter.write_csv(std::cout, rows);
+    }
     return 0;
 }

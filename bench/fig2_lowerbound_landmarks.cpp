@@ -6,19 +6,23 @@
 // for a configuration with dk -> infinity (the regime Figure 2 illustrates;
 // default (64,65), dk = 65).
 //
-// Each repetition produces a whole sorted-load profile, so the bench uses
-// the sweep engine's run_grid primitive (core/sweep.hpp): repetitions run on
-// the shared work-stealing pool and are folded in repetition order, keeping
-// the printed profile bit-identical at any --threads value.
+// Each repetition produces a whole sorted-load profile, so the bench sits
+// directly on the execution engine's run_engine_grid (core/engine.hpp):
+// repetitions run on the process-wide persistent pool and are folded in
+// repetition order, keeping the printed profile bit-identical at any
+// --threads value. Under --adaptive the confidence_width rule monitors the
+// per-repetition max load B_1.
 //
 //   ./fig2_lowerbound_landmarks [--n=196608] [--k=64] [--d=65] [--reps=5]
-//                               [--threads=0]
+//                               [--threads=0] [--csv]
+//                               [--adaptive --ci-width=0.4 --max-reps=40]
 #include <algorithm>
 #include <array>
 #include <cmath>
 #include <iostream>
 
 #include "core/kdchoice.hpp"
+#include "rank_profile.hpp"
 #include "stats/running_stats.hpp"
 #include "support/cli.hpp"
 #include "support/text_table.hpp"
@@ -43,6 +47,8 @@ int main(int argc, char** argv) {
     args.add_option("reps", "5", "independent repetitions to average");
     args.add_option("seed", "2", "master seed");
     args.add_threads_option();
+    args.add_adaptive_options();
+    args.add_flag("csv", "also emit CSV rows (rank, mean B_x, landmark)");
     if (!args.parse(argc, argv)) {
         return 0;
     }
@@ -79,10 +85,8 @@ int main(int argc, char** argv) {
 
     const auto balls = n - (n % k);
     const std::array<std::uint32_t, 1> reps_per_cell{reps};
-    kdc::core::thread_pool pool(std::min<unsigned>(
-        kdc::core::resolve_thread_count(args.get_threads()),
-        std::max<std::uint32_t>(reps, 1)));
-    const auto grid = kdc::core::run_grid<rep_profile>(
+    auto& pool = kdc::core::persistent_pool(args.get_threads());
+    const auto grid = kdc::core::run_engine_grid<rep_profile>(
         pool, reps_per_cell,
         [&ranks, n, k, d, seed, balls, gamma_star,
          gamma0](std::size_t, std::uint32_t rep) {
@@ -102,7 +106,10 @@ int main(int argc, char** argv) {
                 static_cast<double>(sorted[gamma_star - 1]);
             profile.b_gamma0 = static_cast<double>(sorted[gamma0 - 1]);
             return profile;
-        });
+        },
+        // Adaptive mode monitors the max load B_1 of each repetition.
+        [](const rep_profile& profile) { return profile.b1; },
+        kdc::core::stopping_rule_from_cli(args));
 
     // Fold in repetition order (grid[0] is rep-ordered by construction).
     std::vector<kdc::stats::running_stats> profile(ranks.size());
@@ -118,8 +125,13 @@ int main(int argc, char** argv) {
         b_gamma0.push(rep.b_gamma0);
     }
 
-    kdc::text_table table;
-    table.set_header({"rank x", "B_x (mean)", "note"});
+    std::cout << "(profile averaged over " << grid[0].size()
+              << " executed repetitions)\n\n";
+
+    // Shared emission path: the same columns render the text table and the
+    // --csv output (bench/rank_profile.hpp).
+    std::vector<kdc_bench::rank_row> rows;
+    rows.reserve(ranks.size());
     for (std::size_t i = 0; i < ranks.size(); ++i) {
         std::string note;
         if (ranks[i] == gamma_star) {
@@ -129,10 +141,10 @@ int main(int argc, char** argv) {
         } else if (ranks[i] == 1) {
             note = "<- max load B_1";
         }
-        table.add_row({std::to_string(ranks[i]),
-                       kdc::format_fixed(profile[i].mean(), 2), note});
+        rows.push_back({ranks[i], profile[i].mean(), std::move(note)});
     }
-    std::cout << table << '\n';
+    const auto emitter = kdc_bench::make_rank_profile_emitter();
+    emitter.write_table(std::cout, rows);
 
     const double theorem6 = kdc::theory::second_term(k, d);
     const double theorem7 = kdc::theory::first_term(n, k, d);
@@ -148,5 +160,10 @@ int main(int argc, char** argv) {
         << kdc::format_fixed(theorem7, 2) << " - O(1))\n"
         << "  measured B_1              = " << kdc::format_fixed(b1.mean(), 2)
         << "   (their sum lower-bounds the max load)\n";
+
+    if (args.get_flag("csv")) {
+        std::cout << "\nCSV:\n";
+        emitter.write_csv(std::cout, rows);
+    }
     return 0;
 }

@@ -14,6 +14,13 @@
 //
 //   ./table1_maxload [--n=196608] [--reps=10] [--seed=1] [--threads=0]
 //                    [--csv] [--progress]
+//                    [--adaptive --ci-width=0.4 --min-reps=3 --max-reps=40]
+//
+// --adaptive switches the engine's stopping rule to confidence_width: each
+// cell runs repetitions until the 95% Student-t CI half-width of its mean
+// max load drops below --ci-width (or --max-reps is hit). Low-variance
+// cells stop at --min-reps; the executed counts are part of the
+// deterministic output (same at any --threads value).
 #include <iostream>
 #include <vector>
 
@@ -40,6 +47,7 @@ int main(int argc, char** argv) {
     args.add_option("reps", "10", "simulation runs per cell (paper: 10)");
     args.add_option("seed", "1", "master seed");
     args.add_threads_option();
+    args.add_adaptive_options();
     args.add_flag("csv", "also emit CSV rows (k, d, max-load set, mean)");
     args.add_flag("progress", "report sweep progress on stderr");
     if (!args.parse(argc, argv)) {
@@ -85,6 +93,7 @@ int main(int argc, char** argv) {
 
     kdc::core::sweep_options options;
     options.threads = args.get_threads();
+    options.stopping = kdc::core::stopping_rule_from_cli(args);
     if (args.get_flag("progress")) {
         options.progress = [](std::size_t done, std::size_t total) {
             std::cerr << "\r" << done << "/" << total << " reps done";
@@ -144,6 +153,7 @@ int main(int argc, char** argv) {
                                 std::size_t row) {
                             return std::to_string(meta[row].d);
                         })
+            .add_reps_column()
             .add_max_load_set_column("max_load_set")
             .add_stat_column("max_load_mean",
                              [](const kdc::core::sweep_outcome& outcome) {

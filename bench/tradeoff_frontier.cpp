@@ -16,6 +16,7 @@
 //
 //   ./tradeoff_frontier [--n=196608] [--reps=10] [--seed=5] [--threads=0]
 //                       [--csv]
+//                       [--adaptive --ci-width=0.4 --min-reps=3 --max-reps=40]
 #include <cmath>
 #include <iostream>
 #include <vector>
@@ -31,6 +32,7 @@ int main(int argc, char** argv) {
     args.add_option("reps", "10", "repetitions per scheme");
     args.add_option("seed", "5", "master seed");
     args.add_threads_option();
+    args.add_adaptive_options();
     args.add_flag("csv", "also emit CSV rows (scheme, msgs/ball, mean max)");
     if (!args.parse(argc, argv)) {
         return 0;
@@ -92,10 +94,12 @@ int main(int argc, char** argv) {
 
     kdc::core::sweep_options options;
     options.threads = args.get_threads();
+    options.stopping = kdc::core::stopping_rule_from_cli(args);
     const auto outcomes = kdc::core::run_sweep(cells, options);
 
     kdc::core::sweep_emitter emitter;
     emitter.add_name_column("scheme")
+        .add_reps_column()
         .add_column("msgs/ball",
                     [](const kdc::core::sweep_outcome& outcome, std::size_t) {
                         return kdc::format_fixed(

@@ -7,14 +7,15 @@
 // heavy-tailed weights (Pareto) inflate every scheme's gap toward the
 // single-ball dominance regime where the placement policy stops mattering.
 //
-// Weighted observations are doubles, so this bench sits on the sweep
-// engine's run_grid primitive (core/sweep.hpp) rather than repetition_result
-// cells: every (cell, rep) pair still runs on one shared work-stealing pool
-// and folds in repetition order, so output is bit-identical at any
-// --threads value.
+// Weighted observations are doubles, so this bench sits on the execution
+// engine's run_engine_grid (core/engine.hpp) rather than repetition_result
+// cells: every (cell, rep) pair still runs on the process-wide persistent
+// pool and folds in repetition order, so output is bit-identical at any
+// --threads value. Under --adaptive the confidence_width rule monitors the
+// per-repetition weighted max load.
 //
 //   ./weighted_gap [--n=65536] [--rounds-factor=4] [--reps=5] [--threads=0]
-//                  [--csv]
+//                  [--csv] [--adaptive --ci-width=0.4 --max-reps=40]
 #include <iostream>
 #include <vector>
 
@@ -22,7 +23,7 @@
 #include "core/weighted.hpp"
 #include "stats/running_stats.hpp"
 #include "support/cli.hpp"
-#include "support/csv_writer.hpp"
+#include "support/row_emitter.hpp"
 #include "support/text_table.hpp"
 
 namespace {
@@ -42,6 +43,7 @@ int main(int argc, char** argv) {
     args.add_option("reps", "5", "repetitions per cell");
     args.add_option("seed", "11", "master seed");
     args.add_threads_option();
+    args.add_adaptive_options();
     args.add_flag("csv", "also emit CSV rows (weights, k, d, gap, max)");
     if (!args.parse(argc, argv)) {
         return 0;
@@ -70,7 +72,13 @@ int main(int argc, char** argv) {
     // Flatten the weights x (k,d) grid into cells. The original serial bench
     // advanced the master seed once per *repetition* (derive_seed(++cell_seed,
     // rep)); precompute the identical per-rep master seeds so the sweep
-    // reproduces its numbers byte-for-byte.
+    // reproduces its numbers byte-for-byte. Seeds are laid out up to the
+    // stopping rule's repetition CAP, so an adaptive run with
+    // --max-reps > --reps never indexes past the precomputed masters (and a
+    // fixed run, where the cap equals --reps, keeps the legacy seed stream).
+    const auto stopping = kdc::core::stopping_rule_from_cli(args);
+    const std::uint32_t rep_cap =
+        kdc::core::resolve_cell_plan(stopping, reps).max_reps;
     struct grid_cell {
         const weight_case* weights;
         kd_case kd;
@@ -81,8 +89,8 @@ int main(int argc, char** argv) {
     for (const auto& w : weight_cases) {
         for (const auto& kd : kd_cases) {
             grid_cell cell{&w, kd, {}};
-            cell.rep_masters.reserve(reps);
-            for (std::uint32_t rep = 0; rep < reps; ++rep) {
+            cell.rep_masters.reserve(rep_cap);
+            for (std::uint32_t rep = 0; rep < rep_cap; ++rep) {
                 cell.rep_masters.push_back(++cell_seed);
             }
             grid_cells.push_back(std::move(cell));
@@ -90,9 +98,8 @@ int main(int argc, char** argv) {
     }
 
     const std::vector<std::uint32_t> reps_per_cell(grid_cells.size(), reps);
-    kdc::core::thread_pool pool(
-        kdc::core::resolve_thread_count(args.get_threads()));
-    const auto grid = kdc::core::run_grid<rep_observation>(
+    auto& pool = kdc::core::persistent_pool(args.get_threads());
+    const auto grid = kdc::core::run_engine_grid<rep_observation>(
         pool, reps_per_cell,
         [&grid_cells, n, factor](std::size_t c, std::uint32_t rep) {
             const auto& cell = grid_cells[c];
@@ -102,16 +109,25 @@ int main(int argc, char** argv) {
                 cell.weights->dist);
             process.run_rounds(factor * n / cell.kd.k);
             return rep_observation{process.gap(), process.max_load()};
-        });
+        },
+        // Adaptive mode monitors the weighted max load of each repetition.
+        [](const rep_observation& obs) { return obs.max_load; },
+        stopping);
 
     std::cout << "Weighted (k,d)-choice gap, n = " << n << ", "
               << factor << "n total weight-1-mean balls, " << reps
               << " reps\n\n";
-    kdc::text_table table;
-    table.set_header({"weights", "(k,d)", "mean gap", "mean max load"});
-    table.set_align(0, kdc::table_align::left);
 
-    std::vector<std::vector<std::string>> csv_rows;
+    // Fold each cell in repetition order, then emit table and CSV through
+    // one shared column declaration (support/row_emitter.hpp).
+    struct cell_row {
+        const grid_cell* cell;
+        std::size_t reps_used = 0;
+        double mean_gap = 0.0;
+        double mean_max = 0.0;
+    };
+    std::vector<cell_row> rows;
+    rows.reserve(grid_cells.size());
     for (std::size_t c = 0; c < grid_cells.size(); ++c) {
         kdc::stats::running_stats gap_stats;
         kdc::stats::running_stats max_stats;
@@ -119,29 +135,37 @@ int main(int argc, char** argv) {
             gap_stats.push(obs.gap);
             max_stats.push(obs.max_load);
         }
-        const auto& cell = grid_cells[c];
-        table.add_row({cell.weights->name,
-                       "(" + std::to_string(cell.kd.k) + "," +
-                           std::to_string(cell.kd.d) + ")",
-                       kdc::format_fixed(gap_stats.mean(), 3),
-                       kdc::format_fixed(max_stats.mean(), 3)});
-        csv_rows.push_back({cell.weights->name, std::to_string(cell.kd.k),
-                            std::to_string(cell.kd.d),
-                            kdc::format_fixed(gap_stats.mean(), 3),
-                            kdc::format_fixed(max_stats.mean(), 3)});
+        rows.push_back({&grid_cells[c], grid[c].size(), gap_stats.mean(),
+                        max_stats.mean()});
     }
-    std::cout << table << '\n'
-              << "Shapes: within each weight family the gap shrinks with "
+    kdc::row_emitter<cell_row> emitter;
+    emitter
+        .add_column("weights",
+                    [](const cell_row& row, std::size_t) {
+                        return std::string(row.cell->weights->name);
+                    },
+                    kdc::table_align::left)
+        .add_column("(k,d)",
+                    [](const cell_row& row, std::size_t) {
+                        return "(" + std::to_string(row.cell->kd.k) + "," +
+                               std::to_string(row.cell->kd.d) + ")";
+                    })
+        .add_column("reps",
+                    [](const cell_row& row, std::size_t) {
+                        return std::to_string(row.reps_used);
+                    })
+        .add_stat_column("mean gap",
+                         [](const cell_row& row) { return row.mean_gap; }, 3)
+        .add_stat_column("mean max load",
+                         [](const cell_row& row) { return row.mean_max; }, 3);
+    emitter.write_table(std::cout, rows);
+    std::cout << "Shapes: within each weight family the gap shrinks with "
                  "more probes per ball\n"
                  "(smaller k/d ratio); heavier tails raise all gaps.\n";
 
     if (args.get_flag("csv")) {
         std::cout << "\nCSV:\n";
-        kdc::csv_writer csv(std::cout);
-        csv.write_row({"weights", "k", "d", "mean_gap", "mean_max_load"});
-        for (const auto& row : csv_rows) {
-            csv.write_row(row);
-        }
+        emitter.write_csv(std::cout, rows);
     }
     return 0;
 }

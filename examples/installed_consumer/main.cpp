@@ -1,0 +1,33 @@
+// Smoke test for the installed kdchoice package: exercises one type from
+// each exported layer (process, execution engine, stats) through the same
+// include paths in-tree code uses, and exits non-zero on any surprise so CI
+// can gate on it.
+#include <cstdio>
+
+#include "core/kdchoice.hpp"
+#include "stats/hypothesis.hpp"
+
+int main() {
+    // One small adaptive sweep end-to-end on the installed library.
+    std::vector<kdc::core::sweep_cell> cells;
+    cells.push_back(kdc::core::make_sweep_cell(
+        "kd(2,4)", {.balls = 256, .reps = 8, .seed = 42},
+        [](std::uint64_t seed) {
+            return kdc::core::kd_choice_process(256, 2, 4, seed);
+        }));
+    kdc::core::sweep_options options;
+    options.threads = 2;
+    options.stopping = kdc::core::confidence_width_rule(
+        /*ci_half_width=*/5.0, /*min_reps=*/2);
+    const auto outcomes = kdc::core::run_sweep(cells, options);
+    if (outcomes.size() != 1 || outcomes[0].result.reps.empty()) {
+        std::puts("FAIL: sweep produced no outcome");
+        return 1;
+    }
+    const double width =
+        kdc::stats::t_ci_half_width(outcomes[0].result.max_load_stats, 0.95);
+    std::printf("installed kdchoice OK: %zu reps, max-load CI half-width "
+                "%.3f\n",
+                outcomes[0].result.reps.size(), width);
+    return 0;
+}

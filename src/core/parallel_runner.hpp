@@ -1,115 +1,35 @@
-// Thread-pool version of the multi-repetition experiment runner.
+// Experiment-level entry points of the execution engine.
 //
 // Repetitions of an experiment are embarrassingly parallel: rep r depends
 // only on derive_seed(master, r), never on rep r-1. run_parallel_experiment
-// exploits that by fanning the reps of one experiment_config out across a
-// pool of hardware threads, then folding the per-repetition results into the
-// aggregate *in repetition order*. Because both the per-rep seeds and the
-// fold order are independent of the thread count, the returned
-// experiment_result is bit-identical to the serial run_experiment — at 1, 8,
-// or 64 threads. That is the property the Table-1 / frontier sweeps rely on:
-// `--threads` changes wall-clock time only, never a reported number.
+// fans the reps of one experiment_config out across the process-wide
+// persistent pool (core/thread_pool.hpp), then folds the per-repetition
+// results into the aggregate *in repetition order*. Because both the
+// per-rep seeds and the fold order are independent of the thread count, the
+// returned experiment_result is bit-identical to the serial run_experiment
+// — at 1, 8, or 64 threads. That is the property the Table-1 / frontier
+// sweeps rely on: `--threads` changes wall-clock time only, never a
+// reported number.
+//
+// The scheduling core (chunked dispatch + pluggable stopping rules) lives
+// in core/engine.hpp; core/sweep.hpp builds named multi-cell sweeps and
+// shared emission on the same engine.
 #pragma once
 
 #include <algorithm>
-#include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <deque>
-#include <exception>
-#include <functional>
-#include <memory>
-#include <mutex>
 #include <span>
-#include <thread>
-#include <type_traits>
 #include <vector>
 
+#include "core/engine.hpp"
 #include "core/runner.hpp"
+#include "core/thread_pool.hpp"
 
 namespace kdc::core {
 
-/// Work-stealing pool of worker threads. Each worker owns a deque of jobs;
-/// submit() distributes jobs round-robin across the deques, a worker drains
-/// its own deque front-first (FIFO) and, when empty, steals from the back of
-/// a random victim's deque. The external API is unchanged from the original
-/// FIFO pool — submit() and wait_idle() are all the experiment and sweep
-/// runners need — and scheduling order never influences results: callers
-/// fold per-job outputs in a fixed order of their own.
-///
-/// Jobs must not throw (run_repetitions and run_sweep wrap user code and
-/// capture the first exception themselves). submit() is safe from any
-/// thread, including from inside a running job; wait_idle() must be called
-/// from outside the pool's own workers.
-class thread_pool {
-public:
-    /// Spawns `threads` workers (>= 1 enforced by contract).
-    explicit thread_pool(unsigned threads);
-
-    /// Joins all workers; pending jobs are still drained first.
-    ~thread_pool();
-
-    thread_pool(const thread_pool&) = delete;
-    thread_pool& operator=(const thread_pool&) = delete;
-
-    /// Enqueues a job for execution on some worker.
-    void submit(std::function<void()> job);
-
-    /// Blocks until every submitted job has finished executing.
-    void wait_idle();
-
-    [[nodiscard]] unsigned size() const noexcept {
-        return static_cast<unsigned>(workers_.size());
-    }
-
-private:
-    /// One worker's job deque. Guarded by its own mutex so pushes, local
-    /// pops and steals on different workers never contend with each other;
-    /// the control mutex below is only taken for the brief counter updates.
-    struct worker_deque {
-        std::mutex mutex;
-        std::deque<std::function<void()>> jobs;
-    };
-
-    void worker_loop(unsigned index);
-    [[nodiscard]] bool try_pop_front(std::size_t queue_index,
-                                     std::function<void()>& job);
-    [[nodiscard]] bool try_steal_back(std::size_t queue_index,
-                                      std::function<void()>& job);
-
-    std::vector<std::unique_ptr<worker_deque>> deques_;
-
-    // Counter invariant (both guarded by control_mutex_): a job is pushed to
-    // a deque and counted in one critical section, so once a worker claims a
-    // ticket (decrements unclaimed_) a matching job is guaranteed to sit in
-    // some deque until that worker takes it.
-    std::mutex control_mutex_;
-    std::condition_variable work_available_;
-    std::condition_variable all_done_;
-    std::size_t unclaimed_ = 0;  // pushed but not yet claimed by a worker
-    std::size_t in_flight_ = 0;  // unclaimed + currently executing jobs
-    bool stopping_ = false;
-
-    std::atomic<std::size_t> next_deque_{0};  // round-robin submit cursor
-    std::vector<std::thread> workers_;
-};
-
-/// Resolves a user-facing thread-count request: 0 means "all hardware
-/// threads" (at least 1 even if the runtime cannot tell), anything else is
-/// taken literally.
-[[nodiscard]] unsigned resolve_thread_count(unsigned requested) noexcept;
-
-/// Optional progress hook for grid runs: called after every finished
-/// (cell, rep) job with the number of completed jobs and the grid total.
-/// Calls are serialized by an internal mutex and `completed` is strictly
-/// increasing, but they come from worker threads — write to stderr, never
-/// to the stream carrying the run's deterministic output.
-using sweep_progress =
-    std::function<void(std::size_t completed, std::size_t total)>;
-
-/// Low-level grid primitive: runs reps_per_cell[c] jobs for every cell c on
-/// the shared pool and returns the per-cell, per-rep results in a
+/// Fixed-size grid primitive: runs reps_per_cell[c] jobs for every cell c
+/// on the shared pool and returns the per-cell, per-rep results in a
 /// grid[cell][rep] layout. `run(cell, rep)` must be callable concurrently
 /// from many threads and is invoked exactly once per pair, in no particular
 /// order; the *placement* of results is by index, so folding grid[c] in rep
@@ -117,68 +37,23 @@ using sweep_progress =
 /// (or the progress hook) threw — the grid still runs to completion so the
 /// pool is quiescent on return.
 ///
-/// run_parallel_experiment below is the one-cell case; core/sweep.hpp
-/// builds named multi-cell sweeps and shared emission on top.
+/// This is the engine's fixed_reps mode; pass a stopping rule to
+/// run_engine_grid directly for adaptive repetition counts.
 template <typename T, typename RunFn>
 [[nodiscard]] std::vector<std::vector<T>>
 run_grid(thread_pool& pool, std::span<const std::uint32_t> reps_per_cell,
          RunFn&& run, const sweep_progress& progress = {}) {
-    // std::vector<bool> packs bits: adjacent rep slots would share a byte
-    // and concurrent writes from workers would race. Wrap bools in a struct.
-    static_assert(!std::is_same_v<T, bool>,
-                  "run_grid<bool> is unsafe: vector<bool> slots are not "
-                  "independent objects");
-    std::vector<std::vector<T>> grid(reps_per_cell.size());
-    std::size_t total = 0;
-    for (std::size_t c = 0; c < reps_per_cell.size(); ++c) {
-        KD_EXPECTS_MSG(reps_per_cell[c] >= 1,
-                       "every grid cell needs at least one repetition");
-        grid[c].resize(reps_per_cell[c]);
-        total += reps_per_cell[c];
-    }
-    std::exception_ptr first_error;
-    std::mutex error_mutex;
-    std::size_t completed = 0;
-    std::mutex progress_mutex;
-    auto capture_error = [&] {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) {
-            first_error = std::current_exception();
-        }
-    };
-    for (std::size_t c = 0; c < grid.size(); ++c) {
-        for (std::uint32_t rep = 0; rep < reps_per_cell[c]; ++rep) {
-            pool.submit([&, c, rep] {
-                try {
-                    grid[c][rep] = run(c, rep);
-                } catch (...) {
-                    capture_error();
-                }
-                if (progress) {
-                    // Pool jobs must not throw; a throwing hook is captured
-                    // like a failing repetition.
-                    try {
-                        const std::lock_guard<std::mutex> lock(progress_mutex);
-                        progress(++completed, total);
-                    } catch (...) {
-                        capture_error();
-                    }
-                }
-            });
-        }
-    }
-    pool.wait_idle();
-    if (first_error) {
-        std::rethrow_exception(first_error);
-    }
-    return grid;
+    return run_engine_grid<T>(
+        pool, reps_per_cell, std::forward<RunFn>(run),
+        [](const T&) { return 0.0; }, // metric unused under fixed_reps
+        fixed_reps_rule(), progress);
 }
 
-/// Parallel counterpart of run_experiment: the one-cell run_grid. The
-/// factory must be callable concurrently from multiple threads (every
+/// Parallel counterpart of run_experiment: the one-cell grid, run on the
+/// process-wide persistent pool (consecutive calls reuse the same workers).
+/// The factory must be callable concurrently from multiple threads (every
 /// factory in this repo is: it only captures experiment parameters by
-/// value). `threads` = 0 uses all hardware threads; the pool never holds
-/// more workers than reps.
+/// value). `threads` = 0 uses all hardware threads.
 ///
 /// Guarantee: the result — reps vector, histogram, and every running_stats
 /// aggregate — is bit-identical to run_experiment(config, factory).
@@ -189,10 +64,7 @@ run_parallel_experiment(const experiment_config& config, Factory&& factory,
     KD_EXPECTS(config.reps >= 1);
     KD_EXPECTS(config.balls >= 1);
 
-    const unsigned resolved = resolve_thread_count(threads);
-    const unsigned workers =
-        std::min<unsigned>(resolved, config.reps);
-    thread_pool pool(workers);
+    thread_pool& pool = persistent_pool(threads);
     const std::uint32_t one_cell[1]{config.reps};
     auto grid = run_grid<repetition_result>(
         pool, one_cell, [&](std::size_t, std::uint32_t rep) {

@@ -3,6 +3,13 @@
 // this runner generalizes that: it runs `reps` independent repetitions of any
 // allocation process (independent seeds derived from one master seed via
 // SplitMix64), collects per-repetition metrics, and aggregates them.
+//
+// This serial runner is the semantic reference for the whole execution
+// stack: core/engine.hpp (chunked scheduling + stopping rules on the
+// persistent pool of core/thread_pool.hpp), core/parallel_runner.hpp (the
+// one-cell parallel entry points) and core/sweep.hpp (named multi-cell
+// sweeps) all promise results bit-identical to folding run_one_repetition
+// outputs in repetition order exactly as run_experiment below does.
 #pragma once
 
 #include <cstdint>

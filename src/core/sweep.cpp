@@ -1,15 +1,10 @@
 #include "core/sweep.hpp"
 
-#include <numeric>
-#include <ostream>
-
-#include "support/csv_writer.hpp"
-
 namespace kdc::core {
 
 std::vector<sweep_outcome> run_sweep(thread_pool& pool,
                                      const std::vector<sweep_cell>& cells,
-                                     const sweep_progress& progress) {
+                                     const sweep_options& options) {
     std::vector<std::uint32_t> reps_per_cell;
     reps_per_cell.reserve(cells.size());
     for (const auto& cell : cells) {
@@ -20,13 +15,18 @@ std::vector<sweep_outcome> run_sweep(thread_pool& pool,
         reps_per_cell.push_back(cell.config.reps);
     }
 
-    auto grid = run_grid<repetition_result>(
+    auto grid = run_engine_grid<repetition_result>(
         pool, reps_per_cell,
         [&cells](std::size_t cell, std::uint32_t rep) {
             return cells[cell].run_rep(
                 rng::derive_seed(cells[cell].config.seed, rep));
         },
-        progress);
+        // The confidence_width rule monitors the per-repetition max load —
+        // the statistic the paper's tables report.
+        [](const repetition_result& rep) {
+            return static_cast<double>(rep.max_load);
+        },
+        options.stopping, options.progress);
 
     std::vector<sweep_outcome> outcomes;
     outcomes.reserve(cells.size());
@@ -48,24 +48,7 @@ std::vector<sweep_outcome> run_sweep(const std::vector<sweep_cell>& cells,
     if (cells.empty()) {
         return {};
     }
-    const std::size_t total_jobs = std::accumulate(
-        cells.begin(), cells.end(), std::size_t{0},
-        [](std::size_t sum, const sweep_cell& cell) {
-            return sum + std::max<std::uint32_t>(cell.config.reps, 1);
-        });
-    const unsigned workers = static_cast<unsigned>(
-        std::min<std::size_t>(resolve_thread_count(options.threads),
-                              total_jobs));
-    thread_pool pool(workers);
-    return run_sweep(pool, cells, options.progress);
-}
-
-sweep_emitter& sweep_emitter::add_column(std::string header, value_fn value,
-                                         table_align align) {
-    KD_EXPECTS_MSG(value != nullptr, "emitter column needs a value function");
-    columns_.push_back(
-        column{std::move(header), std::move(value), align});
-    return *this;
+    return run_sweep(persistent_pool(options.threads), cells, options);
 }
 
 sweep_emitter& sweep_emitter::add_name_column(std::string header) {
@@ -84,64 +67,11 @@ sweep_emitter& sweep_emitter::add_max_load_set_column(std::string header) {
                       });
 }
 
-sweep_emitter& sweep_emitter::add_stat_column(
-    std::string header, std::function<double(const sweep_outcome&)> stat,
-    int precision) {
-    KD_EXPECTS_MSG(stat != nullptr, "stat column needs a statistic function");
+sweep_emitter& sweep_emitter::add_reps_column(std::string header) {
     return add_column(std::move(header),
-                      [stat = std::move(stat),
-                       precision](const sweep_outcome& outcome, std::size_t) {
-                          return format_fixed(stat(outcome), precision);
+                      [](const sweep_outcome& outcome, std::size_t) {
+                          return std::to_string(outcome.result.reps.size());
                       });
-}
-
-text_table
-sweep_emitter::to_table(const std::vector<sweep_outcome>& outcomes) const {
-    KD_EXPECTS_MSG(!columns_.empty(), "emitter has no columns");
-    text_table table;
-    std::vector<std::string> header;
-    header.reserve(columns_.size());
-    for (const auto& col : columns_) {
-        header.push_back(col.header);
-    }
-    table.set_header(std::move(header));
-    for (std::size_t c = 0; c < columns_.size(); ++c) {
-        table.set_align(c, columns_[c].align);
-    }
-    for (std::size_t row = 0; row < outcomes.size(); ++row) {
-        std::vector<std::string> cells;
-        cells.reserve(columns_.size());
-        for (const auto& col : columns_) {
-            cells.push_back(col.value(outcomes[row], row));
-        }
-        table.add_row(std::move(cells));
-    }
-    return table;
-}
-
-void sweep_emitter::write_table(
-    std::ostream& out, const std::vector<sweep_outcome>& outcomes) const {
-    out << to_table(outcomes) << '\n';
-}
-
-void sweep_emitter::write_csv(
-    std::ostream& out, const std::vector<sweep_outcome>& outcomes) const {
-    KD_EXPECTS_MSG(!columns_.empty(), "emitter has no columns");
-    csv_writer csv(out);
-    std::vector<std::string> header;
-    header.reserve(columns_.size());
-    for (const auto& col : columns_) {
-        header.push_back(col.header);
-    }
-    csv.write_row(header);
-    for (std::size_t row = 0; row < outcomes.size(); ++row) {
-        std::vector<std::string> cells;
-        cells.reserve(columns_.size());
-        for (const auto& col : columns_) {
-            cells.push_back(col.value(outcomes[row], row));
-        }
-        csv.write_row(cells);
-    }
 }
 
 } // namespace kdc::core

@@ -1,29 +1,35 @@
-// Cross-cell sweep engine: runs a whole parameter grid — many named
-// experiment cells, each with its own repetition count — on ONE shared
-// work-stealing thread pool, instead of parallelizing only within a cell.
+// Cross-cell sweep layer of the execution engine: runs a whole parameter
+// grid — many named experiment cells, each with its own repetition count —
+// on ONE shared work-stealing thread pool, instead of parallelizing only
+// within a cell.
 //
 // The paper's headline artifacts (Table 1 over the (k,d) grid, the tradeoff
 // frontier, the d*k = Theta(log n) landmark sweeps) are grids of independent
 // cells; scheduling every (cell, rep) pair onto one pool keeps all hardware
-// threads busy even when individual cells have few repetitions.
+// threads busy even when individual cells have few repetitions. The
+// scheduling core (chunked dispatch + pluggable stopping rules) is
+// core/engine.hpp; this layer adds named cells, repetition_result folding
+// and shared table/CSV emission.
 //
-// Determinism contract, inherited from core/runner.hpp: repetition r of a
-// cell always runs with rng::derive_seed(cell.config.seed, r), and each
-// cell's repetitions are folded in repetition order. The returned outcomes
-// are therefore bit-identical to running every cell serially with
-// run_experiment — at any thread count, under any steal schedule.
+// Determinism contract, inherited from core/engine.hpp: repetition r of a
+// cell always runs with rng::derive_seed(cell.config.seed, r), each cell's
+// repetitions are folded in repetition order, and adaptive stopping
+// decisions are taken on those rep-order folds at deterministic chunk
+// boundaries. The returned outcomes — including how many repetitions an
+// adaptive rule executed — are therefore bit-identical at any thread count,
+// under any steal schedule.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <iosfwd>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "core/engine.hpp"
 #include "core/parallel_runner.hpp"
-#include "support/text_table.hpp"
+#include "support/row_emitter.hpp"
 
 namespace kdc::core {
 
@@ -55,52 +61,68 @@ template <typename Factory>
         }};
 }
 
-/// One cell's folded outcome; `result` is bit-identical to
-/// run_experiment(config, factory) on the same cell.
+/// One cell's folded outcome. Under fixed_reps, `result` is bit-identical
+/// to run_experiment(config, factory) on the same cell; under an adaptive
+/// rule, result.reps.size() reports how many repetitions the stopping rule
+/// actually executed (between the rule's floor and cap).
 struct sweep_outcome {
     std::string name;
     experiment_config config;
     experiment_result result;
 };
 
-/// Options for the pool-owning run_sweep overload.
+/// Options shared by both run_sweep overloads.
 struct sweep_options {
-    /// Worker threads, resolved by resolve_thread_count (0 = all hardware
-    /// threads); the pool is capped at the grid's total job count.
+    /// Worker threads for the pool-owning overload, resolved by
+    /// resolve_thread_count (0 = all hardware threads) and applied to the
+    /// process-wide persistent pool. Ignored by the caller-pool overload.
     unsigned threads = 0;
+    /// Stopping rule applied to every cell; fixed_reps by default. Under
+    /// confidence_width the monitored statistic is the per-repetition
+    /// maximum load.
+    stopping_rule stopping;
     sweep_progress progress;
 };
 
-/// Runs every (cell, rep) pair of the grid on the caller's pool and folds
-/// each cell in repetition order. Sharing one pool across successive sweeps
+/// Runs every cell of the grid on the caller's pool under options.stopping
+/// and folds each cell in repetition order (options.threads is ignored —
+/// the pool is already sized). Sharing one pool across successive sweeps
 /// (e.g. the two ablation phases of a bench) avoids re-spawning workers.
 /// Must be called from outside the pool's own workers.
 [[nodiscard]] std::vector<sweep_outcome>
 run_sweep(thread_pool& pool, const std::vector<sweep_cell>& cells,
-          const sweep_progress& progress = {});
+          const sweep_options& options = {});
 
-/// Convenience overload: spins up a private pool sized by options.threads
-/// and runs the grid on it. An empty grid returns an empty vector without
-/// creating a pool.
+/// Convenience overload: runs the grid on the process-wide persistent pool
+/// sized by options.threads — consecutive calls in one process reuse the
+/// same workers. An empty grid returns an empty vector without touching the
+/// pool.
 [[nodiscard]] std::vector<sweep_outcome>
 run_sweep(const std::vector<sweep_cell>& cells,
           const sweep_options& options = {});
 
-/// Structured emission for sweep outcomes: declare columns once, then render
-/// the same rows as an aligned text table and/or CSV. Replaces the
-/// per-bench re-implementations of "build text_table rows / build csv rows"
-/// for every bench whose rows are one-outcome-per-row.
-class sweep_emitter {
+/// Structured emission for sweep outcomes: the generic row_emitter over
+/// sweep_outcome rows (declare columns once, render the same rows as an
+/// aligned text table and/or CSV — see support/row_emitter.hpp) plus the
+/// canned columns every sweep bench shares. The add_* shadows only restore
+/// the derived return type so chains can keep mixing generic and canned
+/// columns.
+class sweep_emitter : public row_emitter<sweep_outcome> {
 public:
-    /// Renders one column value. `row_index` is the outcome's position in
-    /// the emitted vector, so benches can look up side metadata (e.g. the
-    /// (k, d) pair a cell was built from).
-    using value_fn = std::function<std::string(const sweep_outcome& outcome,
-                                               std::size_t row_index)>;
-
-    /// Appends a column. Returns *this for chaining.
     sweep_emitter& add_column(std::string header, value_fn value,
-                              table_align align = table_align::right);
+                              table_align align = table_align::right) {
+        row_emitter::add_column(std::move(header), std::move(value), align);
+        return *this;
+    }
+
+    sweep_emitter& add_stat_column(
+        std::string header,
+        std::function<double(const sweep_outcome&)> stat,
+        int precision = 2) {
+        row_emitter::add_stat_column(std::move(header), std::move(stat),
+                                     precision);
+        return *this;
+    }
 
     /// Canned column: the cell name (left-aligned by convention).
     sweep_emitter& add_name_column(std::string header = "cell");
@@ -109,32 +131,9 @@ public:
     sweep_emitter& add_max_load_set_column(
         std::string header = "max loads seen");
 
-    /// Canned column: any scalar statistic of the outcome, fixed-precision.
-    sweep_emitter& add_stat_column(
-        std::string header,
-        std::function<double(const sweep_outcome&)> stat, int precision = 2);
-
-    /// Renders the outcomes as an aligned text_table (header + one row per
-    /// outcome, column alignments applied).
-    [[nodiscard]] text_table
-    to_table(const std::vector<sweep_outcome>& outcomes) const;
-
-    /// Streams to_table() followed by a newline.
-    void write_table(std::ostream& out,
-                     const std::vector<sweep_outcome>& outcomes) const;
-
-    /// Streams an RFC-4180 CSV: a header row of column names, then one row
-    /// per outcome.
-    void write_csv(std::ostream& out,
-                   const std::vector<sweep_outcome>& outcomes) const;
-
-private:
-    struct column {
-        std::string header;
-        value_fn value;
-        table_align align;
-    };
-    std::vector<column> columns_;
+    /// Canned column: how many repetitions the cell executed — the
+    /// interesting number under an adaptive stopping rule.
+    sweep_emitter& add_reps_column(std::string header = "reps");
 };
 
 } // namespace kdc::core

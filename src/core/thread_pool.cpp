@@ -1,0 +1,161 @@
+#include "core/thread_pool.hpp"
+
+#include "rng/splitmix64.hpp"
+#include "support/contracts.hpp"
+
+namespace kdc::core {
+
+namespace {
+
+std::atomic<std::uint64_t> threads_spawned_total{0};
+
+} // namespace
+
+std::uint64_t thread_pool::threads_spawned() noexcept {
+    return threads_spawned_total.load(std::memory_order_relaxed);
+}
+
+thread_pool::thread_pool(unsigned threads) {
+    KD_EXPECTS_MSG(threads >= 1, "a thread pool needs at least one worker");
+    deques_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i) {
+        deques_.push_back(std::make_unique<worker_deque>());
+    }
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i) {
+        workers_.emplace_back([this, i] { worker_loop(i); });
+    }
+    threads_spawned_total.fetch_add(threads, std::memory_order_relaxed);
+}
+
+thread_pool::~thread_pool() {
+    {
+        const std::lock_guard<std::mutex> lock(control_mutex_);
+        stopping_ = true;
+    }
+    work_available_.notify_all();
+    for (auto& worker : workers_) {
+        worker.join();
+    }
+}
+
+void thread_pool::submit(std::function<void()> job) {
+    KD_EXPECTS_MSG(job != nullptr, "cannot submit an empty job");
+    const std::size_t slot =
+        next_deque_.fetch_add(1, std::memory_order_relaxed) % deques_.size();
+    {
+        const std::lock_guard<std::mutex> control(control_mutex_);
+        KD_EXPECTS_MSG(!stopping_, "pool is shutting down");
+        {
+            const std::lock_guard<std::mutex> dq(deques_[slot]->mutex);
+            deques_[slot]->jobs.push_back(std::move(job));
+        }
+        ++unclaimed_;
+        ++in_flight_;
+    }
+    work_available_.notify_one();
+}
+
+void thread_pool::wait_idle() {
+    std::unique_lock<std::mutex> lock(control_mutex_);
+    all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+bool thread_pool::try_pop_front(std::size_t queue_index,
+                                std::function<void()>& job) {
+    auto& dq = *deques_[queue_index];
+    const std::lock_guard<std::mutex> lock(dq.mutex);
+    if (dq.jobs.empty()) {
+        return false;
+    }
+    job = std::move(dq.jobs.front());
+    dq.jobs.pop_front();
+    return true;
+}
+
+bool thread_pool::try_steal_back(std::size_t queue_index,
+                                 std::function<void()>& job) {
+    auto& dq = *deques_[queue_index];
+    const std::lock_guard<std::mutex> lock(dq.mutex);
+    if (dq.jobs.empty()) {
+        return false;
+    }
+    job = std::move(dq.jobs.back());
+    dq.jobs.pop_back();
+    return true;
+}
+
+void thread_pool::worker_loop(unsigned index) {
+    // Victim selection only needs decorrelation between workers, never
+    // reproducibility: a per-worker SplitMix64 stream is plenty.
+    rng::splitmix64 victim_rng(rng::derive_seed(0x5745454Bu, index));
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(control_mutex_);
+            work_available_.wait(
+                lock, [this] { return stopping_ || unclaimed_ > 0; });
+            if (unclaimed_ == 0) {
+                return; // stopping_ and every job claimed
+            }
+            // Claim a ticket: exactly one pushed-but-untaken job is now
+            // reserved for this worker, so the scan below must succeed.
+            --unclaimed_;
+        }
+        std::function<void()> job;
+        while (!try_pop_front(index, job)) {
+            const std::size_t start =
+                static_cast<std::size_t>(victim_rng()) % deques_.size();
+            bool stolen = false;
+            for (std::size_t i = 0; i < deques_.size() && !stolen; ++i) {
+                const std::size_t victim = (start + i) % deques_.size();
+                if (victim == index) {
+                    continue;
+                }
+                stolen = try_steal_back(victim, job);
+            }
+            if (stolen) {
+                break;
+            }
+            // A reserved job always sits in some deque (push and ticket
+            // count share one critical section), but concurrent claimers
+            // can empty a deque behind this scan while a new job lands in
+            // one already visited; yield and rescan.
+            std::this_thread::yield();
+        }
+        job();
+        {
+            const std::lock_guard<std::mutex> lock(control_mutex_);
+            --in_flight_;
+            if (in_flight_ == 0) {
+                all_done_.notify_all();
+            }
+        }
+    }
+}
+
+unsigned resolve_thread_count(unsigned requested) noexcept {
+    if (requested != 0) {
+        return requested;
+    }
+    const unsigned hardware = std::thread::hardware_concurrency();
+    return hardware != 0 ? hardware : 1;
+}
+
+thread_pool& persistent_pool(unsigned threads) {
+    // The unique_ptr (not a plain static pool) makes the resize path
+    // explicit: same resolved size -> hand back the live pool, different
+    // size -> drain, join and respawn. Destroyed on process exit like any
+    // other function-local static.
+    static std::mutex pool_mutex;
+    static std::unique_ptr<thread_pool> pool;
+
+    const unsigned resolved = resolve_thread_count(threads);
+    const std::lock_guard<std::mutex> lock(pool_mutex);
+    if (!pool || pool->size() != resolved) {
+        pool.reset(); // join the old workers before spawning replacements
+        pool = std::make_unique<thread_pool>(resolved);
+    }
+    return *pool;
+}
+
+} // namespace kdc::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "stats/running_stats.hpp"
 #include "stats/special_functions.hpp"
 #include "support/contracts.hpp"
 
@@ -111,6 +112,17 @@ double dominance_probability(std::span<const double> a,
     }
     return score /
            (static_cast<double>(a.size()) * static_cast<double>(b.size()));
+}
+
+double t_ci_half_width(const running_stats& sample, double confidence) {
+    KD_EXPECTS_MSG(sample.count() >= 2,
+                   "a t confidence interval needs at least two samples");
+    KD_EXPECTS_MSG(confidence > 0.0 && confidence < 1.0,
+                   "confidence level must lie strictly between 0 and 1");
+    const auto n = static_cast<double>(sample.count());
+    const double quantile =
+        student_t_quantile(0.5 * (1.0 + confidence), n - 1.0);
+    return quantile * sample.stddev() / std::sqrt(n);
 }
 
 } // namespace kdc::stats

@@ -5,7 +5,9 @@
 //    Property (i) of the paper (serialization A_sigma == A(k,d)) and the
 //    cross-generator consistency checks;
 //  * one-sided Mann-Whitney-style dominance score — quantifies the empirical
-//    majorization chain (Properties (ii)-(v)).
+//    majorization chain (Properties (ii)-(v));
+//  * Student-t confidence intervals for a sample mean — the decision
+//    statistic of the execution engine's confidence_width stopping rule.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +15,8 @@
 #include <vector>
 
 namespace kdc::stats {
+
+class running_stats;
 
 struct chi_square_result {
     double statistic = 0.0;
@@ -46,5 +50,14 @@ struct ks_result {
 /// This is the common-language effect size of the Mann-Whitney U test.
 [[nodiscard]] double dominance_probability(std::span<const double> a,
                                            std::span<const double> b);
+
+/// Half-width of the two-sided Student-t confidence interval for the mean
+/// of the accumulated sample: t_{(1+confidence)/2, n-1} * s / sqrt(n).
+/// Exact for normal samples and the honest small-sample replacement for the
+/// z-based running_stats::mean_ci_halfwidth; the execution engine's
+/// confidence_width stopping rule compares this against its target.
+/// Requires >= 2 samples and confidence strictly inside (0, 1).
+[[nodiscard]] double t_ci_half_width(const running_stats& sample,
+                                     double confidence);
 
 } // namespace kdc::stats

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <limits>
+#include <mutex>
 
 #include "support/contracts.hpp"
 
@@ -11,6 +12,21 @@ namespace {
 
 constexpr int max_iterations = 500;
 constexpr double epsilon = 1e-14;
+
+/// std::lgamma writes the process-global `signgam`, which is a data race
+/// once the execution engine evaluates stopping decisions on two pool
+/// workers concurrently (TSan flags it). Use the reentrant lgamma_r where
+/// the platform provides one; otherwise serialize the calls.
+double lgamma_threadsafe(double x) {
+#if defined(__GLIBC__) || defined(__APPLE__)
+    int sign = 0;
+    return ::lgamma_r(x, &sign);
+#else
+    static std::mutex lgamma_mutex;
+    const std::lock_guard<std::mutex> lock(lgamma_mutex);
+    return std::lgamma(x);
+#endif
+}
 
 /// P(a,x) by the power series gamma(a,x) = x^a e^-x sum x^n / (a)_{n+1}.
 double gamma_p_series(double a, double x) {
@@ -25,7 +41,7 @@ double gamma_p_series(double a, double x) {
             break;
         }
     }
-    return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+    return sum * std::exp(-x + a * std::log(x) - lgamma_threadsafe(a));
 }
 
 /// Q(a,x) by the Lentz continued fraction for the upper incomplete gamma.
@@ -53,7 +69,7 @@ double gamma_q_continued_fraction(double a, double x) {
             break;
         }
     }
-    return std::exp(-x + a * std::log(x) - std::lgamma(a)) * h;
+    return std::exp(-x + a * std::log(x) - lgamma_threadsafe(a)) * h;
 }
 
 } // namespace
@@ -108,8 +124,124 @@ double kolmogorov_q(double lambda) {
     return q;
 }
 
+namespace {
+
+/// Lentz continued fraction for the incomplete beta; valid (fast) for
+/// x < (a+1)/(a+b+2).
+double beta_continued_fraction(double a, double b, double x) {
+    constexpr double tiny = 1e-300;
+    const double qab = a + b;
+    const double qap = a + 1.0;
+    const double qam = a - 1.0;
+    double c = 1.0;
+    double d = 1.0 - qab * x / qap;
+    if (std::abs(d) < tiny) {
+        d = tiny;
+    }
+    d = 1.0 / d;
+    double h = d;
+    for (int m = 1; m <= max_iterations; ++m) {
+        const double md = static_cast<double>(m);
+        const double m2 = 2.0 * md;
+        double aa = md * (b - md) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if (std::abs(d) < tiny) {
+            d = tiny;
+        }
+        c = 1.0 + aa / c;
+        if (std::abs(c) < tiny) {
+            c = tiny;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        aa = -(a + md) * (qab + md) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if (std::abs(d) < tiny) {
+            d = tiny;
+        }
+        c = 1.0 + aa / c;
+        if (std::abs(c) < tiny) {
+            c = tiny;
+        }
+        d = 1.0 / d;
+        const double delta = d * c;
+        h *= delta;
+        if (std::abs(delta - 1.0) < epsilon) {
+            break;
+        }
+    }
+    return h;
+}
+
+} // namespace
+
+double regularized_beta(double a, double b, double x) {
+    KD_EXPECTS(a > 0.0);
+    KD_EXPECTS(b > 0.0);
+    KD_EXPECTS(x >= 0.0 && x <= 1.0);
+    if (x == 0.0) {
+        return 0.0;
+    }
+    if (x == 1.0) {
+        return 1.0;
+    }
+    const double front =
+        std::exp(lgamma_threadsafe(a + b) - lgamma_threadsafe(a) -
+                 lgamma_threadsafe(b) + a * std::log(x) +
+                 b * std::log1p(-x));
+    if (x < (a + 1.0) / (a + b + 2.0)) {
+        return front * beta_continued_fraction(a, b, x) / a;
+    }
+    return 1.0 - front * beta_continued_fraction(b, a, 1.0 - x) / b;
+}
+
+double student_t_cdf(double t, double dof) {
+    KD_EXPECTS(dof > 0.0);
+    if (t == 0.0) {
+        return 0.5;
+    }
+    // P(T <= t) = 1 - I_{dof/(dof+t^2)}(dof/2, 1/2) / 2 for t > 0, and the
+    // distribution is symmetric about zero.
+    const double x = dof / (dof + t * t);
+    const double tail = 0.5 * regularized_beta(dof / 2.0, 0.5, x);
+    return t > 0.0 ? 1.0 - tail : tail;
+}
+
+double student_t_quantile(double p, double dof) {
+    KD_EXPECTS(dof > 0.0);
+    KD_EXPECTS_MSG(p > 0.0 && p < 1.0,
+                   "t quantile needs a probability strictly inside (0, 1)");
+    if (p == 0.5) {
+        return 0.0;
+    }
+    // Symmetry: solve in the upper half only.
+    if (p < 0.5) {
+        return -student_t_quantile(1.0 - p, dof);
+    }
+    // Bracket [0, hi] by doubling, then bisect. The CDF is strictly
+    // increasing, so this converges unconditionally.
+    double hi = 1.0;
+    while (student_t_cdf(hi, dof) < p) {
+        hi *= 2.0;
+        KD_ASSERT_MSG(hi < 1e300, "t quantile bracket runaway");
+    }
+    double lo = 0.0;
+    for (int i = 0; i < 200; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        if (student_t_cdf(mid, dof) < p) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if (hi - lo <= 1e-13 * std::max(1.0, hi)) {
+            break;
+        }
+    }
+    return 0.5 * (lo + hi);
+}
+
 double log_factorial(std::uint64_t n) {
-    return std::lgamma(static_cast<double>(n) + 1.0);
+    return lgamma_threadsafe(static_cast<double>(n) + 1.0);
 }
 
 std::uint64_t smallest_factorial_exceeding_log(double log_bound) {

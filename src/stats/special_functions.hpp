@@ -23,6 +23,22 @@ namespace kdc::stats {
 /// exp(-2 j^2 lambda^2); the asymptotic p-value of the KS statistic.
 [[nodiscard]] double kolmogorov_q(double lambda);
 
+/// Regularized incomplete beta I_x(a, b), a, b > 0, x in [0, 1]. Lentz
+/// continued fraction with the symmetry fallback I_x(a,b) = 1 -
+/// I_{1-x}(b,a) for the slow-convergence half (Numerical Recipes
+/// construction, re-derived here). Backs the Student-t CDF below.
+[[nodiscard]] double regularized_beta(double a, double b, double x);
+
+/// CDF of Student's t distribution with `dof` degrees of freedom.
+[[nodiscard]] double student_t_cdf(double t, double dof);
+
+/// Quantile (inverse CDF) of Student's t distribution: the t with
+/// student_t_cdf(t, dof) = p, p in (0, 1). Bisection on the CDF —
+/// deterministic and accurate to ~1e-12, which is what the adaptive
+/// stopping rule's confidence-width decisions require (the decision must be
+/// identical on every platform and thread count).
+[[nodiscard]] double student_t_quantile(double p, double dof);
+
 /// ln(n!) computed via lgamma.
 [[nodiscard]] double log_factorial(std::uint64_t n);
 

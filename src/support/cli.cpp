@@ -1,6 +1,7 @@
 #include "support/cli.hpp"
 
 #include <charconv>
+#include <cmath>
 #include <iostream>
 #include <limits>
 #include <sstream>
@@ -26,6 +27,23 @@ void arg_parser::add_threads_option() {
                "worker threads shared by the whole sweep: every cell and "
                "repetition runs on one work-stealing pool (0 = all hardware "
                "threads); never changes reported numbers");
+}
+
+void arg_parser::add_adaptive_options() {
+    add_flag("adaptive",
+             "stop each cell's repetitions early once the 95% Student-t CI "
+             "half-width of its mean max load drops below --ci-width "
+             "(decisions on rep-order folds: output is still bit-identical "
+             "at any --threads value)");
+    add_option("ci-width", "0.5",
+               "adaptive mode: target CI half-width of the mean max load; "
+               "must be a positive finite number");
+    add_option("min-reps", "3",
+               "adaptive mode: repetitions every cell runs before the first "
+               "stop decision (>= 2, variance needs two samples)");
+    add_option("max-reps", "0",
+               "adaptive mode: hard cap on repetitions per cell (0 = the "
+               "cell's configured --reps)");
 }
 
 unsigned arg_parser::get_threads() const {
@@ -100,18 +118,39 @@ std::int64_t arg_parser::get_int(const std::string& name) const {
 
 double arg_parser::get_double(const std::string& name) const {
     const std::string text = get_string(name);
+    double value = 0.0;
     try {
         std::size_t pos = 0;
-        const double value = std::stod(text, &pos);
+        value = std::stod(text, &pos);
         if (pos != text.size()) {
-            throw cli_error("option --" + name + " expects a number, got '" +
-                            text + "'");
+            throw cli_error("option --" + name +
+                            " expects a number, got '" + text +
+                            "' (trailing characters after the value)");
         }
-        return value;
     } catch (const std::invalid_argument&) {
         throw cli_error("option --" + name + " expects a number, got '" + text +
                         "'");
+    } catch (const std::out_of_range&) {
+        throw cli_error("option --" + name + " value '" + text +
+                        "' is out of range for a double");
     }
+    // stod happily parses "inf" and "nan"; neither is a usable option value
+    // anywhere in this repo, so reject them here with a clear message
+    // instead of letting them leak into downstream contract violations.
+    if (!std::isfinite(value)) {
+        throw cli_error("option --" + name + " must be finite, got '" + text +
+                        "'");
+    }
+    return value;
+}
+
+double arg_parser::get_positive_double(const std::string& name) const {
+    const double value = get_double(name);
+    if (value <= 0.0) {
+        throw cli_error("option --" + name + " must be > 0, got '" +
+                        get_string(name) + "'");
+    }
+    return value;
 }
 
 bool arg_parser::get_flag(const std::string& name) const {

@@ -39,13 +39,33 @@ public:
     /// core::resolve_thread_count — the one place that semantic lives.
     [[nodiscard]] unsigned get_threads() const;
 
+    /// Declares the standard adaptive-precision options shared by the sweep
+    /// binaries: `--adaptive` (switch the execution engine's stopping rule
+    /// from fixed_reps to confidence_width), `--ci-width` (target 95% CI
+    /// half-width of the mean max load), `--min-reps` and `--max-reps`
+    /// (floor / cap on per-cell repetitions; --max-reps=0 means "the cell's
+    /// configured --reps"). core::stopping_rule_from_cli assembles the rule
+    /// and validates the cross-option constraints.
+    void add_adaptive_options();
+
     /// Parses argv. Throws cli_error on unknown/malformed options.
     /// Returns false if `--help` was requested (usage printed to stdout).
     [[nodiscard]] bool parse(int argc, const char* const* argv);
 
     [[nodiscard]] std::string get_string(const std::string& name) const;
     [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+
+    /// Parses the option as a double. Rejects — with a cli_error naming the
+    /// option, the offending text and what was expected — garbage
+    /// ("--x=abc"), trailing junk ("--x=1.5abc"), out-of-range literals
+    /// ("--x=1e999") and non-finite values ("--x=inf", "--x=nan"); no
+    /// malformed value ever falls back to a silent default.
     [[nodiscard]] double get_double(const std::string& name) const;
+
+    /// get_double plus a strict positivity check: zero and negative values
+    /// are rejected with a cli_error saying the option must be > 0.
+    [[nodiscard]] double get_positive_double(const std::string& name) const;
+
     [[nodiscard]] bool get_flag(const std::string& name) const;
 
     [[nodiscard]] const std::vector<std::string>& positional() const noexcept {

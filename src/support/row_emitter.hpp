@@ -1,0 +1,114 @@
+// Structured row emission shared by every table-producing bench: declare
+// columns once over an arbitrary row type, then render the same rows as an
+// aligned text table and/or RFC-4180 CSV. core/sweep.hpp derives its
+// sweep_emitter (rows = sweep outcomes) from this; benches whose rows are
+// ranks, scheme pairs or other side metadata instantiate it directly, so
+// the --csv path is one implementation repo-wide.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <ostream>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/contracts.hpp"
+#include "support/csv_writer.hpp"
+#include "support/text_table.hpp"
+
+namespace kdc {
+
+template <typename Row>
+class row_emitter {
+public:
+    /// Renders one column value. `row_index` is the row's position in the
+    /// emitted span, so callers can look up parallel side metadata.
+    using value_fn =
+        std::function<std::string(const Row& row, std::size_t row_index)>;
+
+    /// Appends a column. Returns *this for chaining.
+    row_emitter& add_column(std::string header, value_fn value,
+                            table_align align = table_align::right) {
+        KD_EXPECTS_MSG(value != nullptr,
+                       "emitter column needs a value function");
+        columns_.push_back(
+            column{std::move(header), std::move(value), align});
+        return *this;
+    }
+
+    /// Canned column: any scalar statistic of the row, fixed-precision.
+    row_emitter& add_stat_column(std::string header,
+                                 std::function<double(const Row&)> stat,
+                                 int precision = 2) {
+        KD_EXPECTS_MSG(stat != nullptr,
+                       "stat column needs a statistic function");
+        return add_column(std::move(header),
+                          [stat = std::move(stat),
+                           precision](const Row& row, std::size_t) {
+                              return format_fixed(stat(row), precision);
+                          });
+    }
+
+    /// Renders the rows as an aligned text_table (header + one row per
+    /// element, column alignments applied).
+    [[nodiscard]] text_table to_table(std::span<const Row> rows) const {
+        KD_EXPECTS_MSG(!columns_.empty(), "emitter has no columns");
+        text_table table;
+        table.set_header(header_cells());
+        for (std::size_t c = 0; c < columns_.size(); ++c) {
+            table.set_align(c, columns_[c].align);
+        }
+        for (std::size_t row = 0; row < rows.size(); ++row) {
+            table.add_row(render_row(rows[row], row));
+        }
+        return table;
+    }
+
+    /// Streams to_table() followed by a newline.
+    void write_table(std::ostream& out, std::span<const Row> rows) const {
+        out << to_table(rows) << '\n';
+    }
+
+    /// Streams an RFC-4180 CSV: a header row of column names, then one row
+    /// per element.
+    void write_csv(std::ostream& out, std::span<const Row> rows) const {
+        KD_EXPECTS_MSG(!columns_.empty(), "emitter has no columns");
+        csv_writer csv(out);
+        csv.write_row(header_cells());
+        for (std::size_t row = 0; row < rows.size(); ++row) {
+            csv.write_row(render_row(rows[row], row));
+        }
+    }
+
+private:
+    struct column {
+        std::string header;
+        value_fn value;
+        table_align align;
+    };
+
+    [[nodiscard]] std::vector<std::string> header_cells() const {
+        std::vector<std::string> header;
+        header.reserve(columns_.size());
+        for (const auto& col : columns_) {
+            header.push_back(col.header);
+        }
+        return header;
+    }
+
+    [[nodiscard]] std::vector<std::string> render_row(const Row& row,
+                                                      std::size_t index) const {
+        std::vector<std::string> cells;
+        cells.reserve(columns_.size());
+        for (const auto& col : columns_) {
+            cells.push_back(col.value(row, index));
+        }
+        return cells;
+    }
+
+    std::vector<column> columns_;
+};
+
+} // namespace kdc

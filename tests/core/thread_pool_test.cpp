@@ -1,0 +1,109 @@
+#include "core/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/process.hpp"
+#include "core/sweep.hpp"
+
+namespace {
+
+using kdc::core::make_sweep_cell;
+using kdc::core::persistent_pool;
+using kdc::core::resolve_thread_count;
+using kdc::core::run_sweep;
+using kdc::core::sweep_options;
+using kdc::core::thread_pool;
+
+std::vector<kdc::core::sweep_cell> small_grid() {
+    std::vector<kdc::core::sweep_cell> cells;
+    cells.push_back(make_sweep_cell(
+        "kd(2,4)", {.balls = 64, .reps = 6, .seed = 3},
+        [](std::uint64_t s) {
+            return kdc::core::kd_choice_process(64, 2, 4, s);
+        }));
+    cells.push_back(make_sweep_cell(
+        "single", {.balls = 48, .reps = 4, .seed = 9},
+        [](std::uint64_t s) {
+            return kdc::core::single_choice_process(48, s);
+        }));
+    return cells;
+}
+
+/// The set of worker thread ids that executed at least one job of a sweep
+/// on the persistent pool.
+std::set<std::thread::id> worker_ids_during_sweep(unsigned threads) {
+    std::mutex mutex;
+    std::set<std::thread::id> ids;
+    auto cells = small_grid();
+    for (auto& cell : cells) {
+        const auto inner = cell.run_rep;
+        cell.run_rep = [inner, &mutex, &ids](std::uint64_t seed) {
+            {
+                const std::lock_guard<std::mutex> lock(mutex);
+                ids.insert(std::this_thread::get_id());
+            }
+            return inner(seed);
+        };
+    }
+    sweep_options options;
+    options.threads = threads;
+    (void)run_sweep(cells, options);
+    return ids;
+}
+
+TEST(ThreadPool, PersistentPoolReusesWorkersAcrossConsecutiveSweeps) {
+    // Warm the pool at a fixed size, then run two sweeps: the process-wide
+    // spawn counter must not move (no thread was re-spawned), and every
+    // job-executing thread id must belong to the warm pool's worker set.
+    thread_pool& pool = persistent_pool(3);
+    ASSERT_EQ(pool.size(), 3u);
+    const std::uint64_t spawned_before = thread_pool::threads_spawned();
+
+    const auto first = worker_ids_during_sweep(3);
+    const auto second = worker_ids_during_sweep(3);
+    EXPECT_EQ(thread_pool::threads_spawned(), spawned_before)
+        << "consecutive sweeps respawned pool workers";
+    EXPECT_FALSE(first.empty());
+    EXPECT_FALSE(second.empty());
+
+    // Same singleton, untouched.
+    EXPECT_EQ(&persistent_pool(3), &pool);
+
+    // Both sweeps ran on workers of one 3-thread pool.
+    std::set<std::thread::id> all(first.begin(), first.end());
+    all.insert(second.begin(), second.end());
+    EXPECT_LE(all.size(), 3u);
+}
+
+TEST(ThreadPool, PersistentPoolResizesOnlyWhenTheRequestChanges) {
+    thread_pool& two = persistent_pool(2);
+    EXPECT_EQ(two.size(), 2u);
+    const std::uint64_t spawned_before = thread_pool::threads_spawned();
+    EXPECT_EQ(persistent_pool(2).size(), 2u);
+    EXPECT_EQ(thread_pool::threads_spawned(), spawned_before)
+        << "same-size request must not respawn";
+    // A different request tears down and respawns at the new size.
+    EXPECT_EQ(persistent_pool(5).size(), 5u);
+    EXPECT_EQ(thread_pool::threads_spawned(), spawned_before + 5);
+}
+
+TEST(ThreadPool, PersistentPoolResolvesZeroToHardwareThreads) {
+    EXPECT_EQ(persistent_pool(0).size(), resolve_thread_count(0));
+}
+
+TEST(ThreadPool, SpawnCounterTracksPrivatePools) {
+    const std::uint64_t before = thread_pool::threads_spawned();
+    {
+        thread_pool pool(4);
+        EXPECT_EQ(thread_pool::threads_spawned(), before + 4);
+    }
+    EXPECT_EQ(thread_pool::threads_spawned(), before + 4);
+}
+
+} // namespace

@@ -6,6 +6,7 @@
 
 #include "rng/uniform.hpp"
 #include "rng/xoshiro256ss.hpp"
+#include "stats/running_stats.hpp"
 #include "support/contracts.hpp"
 
 namespace {
@@ -14,6 +15,7 @@ using kdc::stats::chi_square_gof;
 using kdc::stats::chi_square_uniform;
 using kdc::stats::dominance_probability;
 using kdc::stats::ks_two_sample;
+using kdc::stats::t_ci_half_width;
 
 TEST(ChiSquare, PerfectFitHasHighPValue) {
     const std::vector<std::uint64_t> observed{100, 100, 100, 100};
@@ -124,6 +126,62 @@ TEST(Dominance, HandComputedMixedCase) {
     // a = {2, 3}, b = {2}: one tie (0.5) + one win (1) over 2 pairs = 0.75.
     const std::vector<double> c{2.0, 3.0};
     EXPECT_DOUBLE_EQ(dominance_probability(c, b), 0.75);
+}
+
+TEST(TConfidenceInterval, HalfWidthMatchesHandComputedReference) {
+    // Sample {2,4,4,4,5,5,7,9}: n = 8, s = 2.13808993529940. Reference
+    // half-widths (mpmath): t_{0.975,7} * s / sqrt(8) = 1.78748791823621,
+    // t_{0.995,7} * s / sqrt(8) = 2.64536072057534.
+    kdc::stats::running_stats s;
+    for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+        s.push(x);
+    }
+    EXPECT_NEAR(t_ci_half_width(s, 0.95), 1.78748791823621, 1e-9);
+    EXPECT_NEAR(t_ci_half_width(s, 0.99), 2.64536072057534, 1e-9);
+}
+
+TEST(TConfidenceInterval, WiderThanNormalApproximationForSmallSamples) {
+    // The z-based running_stats interval underestimates small-sample
+    // uncertainty; the t interval must dominate it (t quantile > z).
+    kdc::stats::running_stats s;
+    for (const double x : {1.0, 2.0, 4.0, 8.0}) {
+        s.push(x);
+    }
+    EXPECT_GT(t_ci_half_width(s, 0.95), s.mean_ci_halfwidth(1.96));
+}
+
+TEST(TConfidenceInterval, ShrinksTowardZeroWithMoreSamples) {
+    kdc::stats::running_stats small;
+    kdc::stats::running_stats large;
+    for (int i = 0; i < 8; ++i) {
+        small.push(i % 2 == 0 ? 1.0 : 2.0);
+    }
+    for (int i = 0; i < 800; ++i) {
+        large.push(i % 2 == 0 ? 1.0 : 2.0);
+    }
+    EXPECT_GT(t_ci_half_width(small, 0.95), t_ci_half_width(large, 0.95));
+}
+
+TEST(TConfidenceInterval, ZeroVarianceSampleHasZeroWidth) {
+    kdc::stats::running_stats s;
+    s.push(3.0);
+    s.push(3.0);
+    EXPECT_DOUBLE_EQ(t_ci_half_width(s, 0.95), 0.0);
+}
+
+TEST(TConfidenceInterval, RejectsDegenerateSamplesAndLevels) {
+    // n = 0 and n = 1 cannot produce an interval: no variance estimate.
+    kdc::stats::running_stats empty;
+    EXPECT_THROW((void)t_ci_half_width(empty, 0.95),
+                 kdc::contract_violation);
+    kdc::stats::running_stats one;
+    one.push(1.0);
+    EXPECT_THROW((void)t_ci_half_width(one, 0.95), kdc::contract_violation);
+    kdc::stats::running_stats two;
+    two.push(1.0);
+    two.push(2.0);
+    EXPECT_THROW((void)t_ci_half_width(two, 0.0), kdc::contract_violation);
+    EXPECT_THROW((void)t_ci_half_width(two, 1.0), kdc::contract_violation);
 }
 
 } // namespace

@@ -11,9 +11,12 @@ namespace {
 using kdc::stats::chi_square_cdf;
 using kdc::stats::kolmogorov_q;
 using kdc::stats::log_factorial;
+using kdc::stats::regularized_beta;
 using kdc::stats::regularized_gamma_p;
 using kdc::stats::regularized_gamma_q;
 using kdc::stats::smallest_factorial_exceeding_log;
+using kdc::stats::student_t_cdf;
+using kdc::stats::student_t_quantile;
 
 TEST(RegularizedGamma, BoundaryValues) {
     EXPECT_DOUBLE_EQ(regularized_gamma_p(1.0, 0.0), 0.0);
@@ -111,6 +114,75 @@ TEST(SmallestFactorialExceeding, AgreesWithBruteForce) {
     const auto y = smallest_factorial_exceeding_log(log_bound);
     EXPECT_GT(log_factorial(y), log_bound);
     EXPECT_LE(log_factorial(y - 1), log_bound);
+}
+
+TEST(RegularizedBeta, ClosedFormCases) {
+    EXPECT_DOUBLE_EQ(regularized_beta(1.0, 1.0, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(regularized_beta(1.0, 1.0, 1.0), 1.0);
+    // I_x(1, 1) = x (uniform CDF).
+    EXPECT_NEAR(regularized_beta(1.0, 1.0, 0.3), 0.3, 1e-12);
+    // I_x(a, 1) = x^a and I_x(1, b) = 1 - (1-x)^b.
+    EXPECT_NEAR(regularized_beta(3.0, 1.0, 0.5), 0.125, 1e-12);
+    EXPECT_NEAR(regularized_beta(1.0, 4.0, 0.25),
+                1.0 - std::pow(0.75, 4.0), 1e-12);
+    // Symmetry I_x(a, b) = 1 - I_{1-x}(b, a).
+    EXPECT_NEAR(regularized_beta(2.5, 4.0, 0.3) +
+                    regularized_beta(4.0, 2.5, 0.7),
+                1.0, 1e-12);
+}
+
+TEST(RegularizedBeta, RejectsOutOfDomainArguments) {
+    EXPECT_THROW((void)regularized_beta(0.0, 1.0, 0.5),
+                 kdc::contract_violation);
+    EXPECT_THROW((void)regularized_beta(1.0, -1.0, 0.5),
+                 kdc::contract_violation);
+    EXPECT_THROW((void)regularized_beta(1.0, 1.0, 1.5),
+                 kdc::contract_violation);
+}
+
+TEST(StudentT, CdfMatchesReferenceValues) {
+    EXPECT_DOUBLE_EQ(student_t_cdf(0.0, 5.0), 0.5);
+    // Symmetry about zero.
+    EXPECT_NEAR(student_t_cdf(1.3, 7.0) + student_t_cdf(-1.3, 7.0), 1.0,
+                1e-12);
+    // Reference: P(T_10 <= 1.812461) = 0.95 (t table / mpmath).
+    EXPECT_NEAR(student_t_cdf(1.812461, 10.0), 0.95, 1e-6);
+    // With one degree of freedom the t distribution is standard Cauchy:
+    // CDF(1) = 3/4.
+    EXPECT_NEAR(student_t_cdf(1.0, 1.0), 0.75, 1e-12);
+}
+
+TEST(StudentT, QuantileMatchesReferenceValues) {
+    // Classic two-sided 95% / 99% critical values (mpmath, 15 digits).
+    EXPECT_NEAR(student_t_quantile(0.975, 1.0), 12.7062047361747, 1e-8);
+    EXPECT_NEAR(student_t_quantile(0.975, 2.0), 4.30265272974946, 1e-9);
+    EXPECT_NEAR(student_t_quantile(0.975, 7.0), 2.36462425159278, 1e-9);
+    EXPECT_NEAR(student_t_quantile(0.975, 10.0), 2.22813885198627, 1e-9);
+    EXPECT_NEAR(student_t_quantile(0.995, 30.0), 2.74999565356722, 1e-9);
+    EXPECT_NEAR(student_t_quantile(0.95, 5.0), 2.01504837333302, 1e-9);
+    // Large dof approaches the normal quantile 1.959964.
+    EXPECT_NEAR(student_t_quantile(0.975, 120.0), 1.97993040508244, 1e-9);
+}
+
+TEST(StudentT, QuantileRoundTripsThroughCdf) {
+    for (const double p : {0.05, 0.25, 0.5, 0.9, 0.999}) {
+        for (const double dof : {1.0, 3.0, 9.0, 29.0}) {
+            EXPECT_NEAR(student_t_cdf(student_t_quantile(p, dof), dof), p,
+                        1e-10)
+                << "p=" << p << " dof=" << dof;
+        }
+    }
+    // Symmetry: the lower-tail quantile is the negated upper-tail one.
+    EXPECT_NEAR(student_t_quantile(0.025, 10.0),
+                -student_t_quantile(0.975, 10.0), 1e-10);
+}
+
+TEST(StudentT, RejectsDegenerateArguments) {
+    EXPECT_THROW((void)student_t_cdf(1.0, 0.0), kdc::contract_violation);
+    EXPECT_THROW((void)student_t_quantile(0.0, 5.0),
+                 kdc::contract_violation);
+    EXPECT_THROW((void)student_t_quantile(1.0, 5.0),
+                 kdc::contract_violation);
 }
 
 } // namespace

@@ -176,4 +176,68 @@ TEST(ArgParser, UsageListsDefaults) {
     EXPECT_NE(usage.find("repetitions"), std::string::npos);
 }
 
+/// Parses one --ci-width value through a fresh parser and returns the
+/// cli_error message get_positive_double produced (empty if it accepted).
+std::string positive_double_error(const std::string& value) {
+    arg_parser parser;
+    parser.add_option("ci-width", "0.5", "target half-width");
+    const std::string arg = "--ci-width=" + value;
+    const std::array argv{"prog", arg.c_str()};
+    if (!parser.parse(static_cast<int>(argv.size()), argv.data())) {
+        return "help?";
+    }
+    try {
+        (void)parser.get_positive_double("ci-width");
+        return "";
+    } catch (const cli_error& e) {
+        return e.what();
+    }
+}
+
+TEST(ArgParser, PositiveDoubleAcceptsOrdinaryValues) {
+    EXPECT_EQ(positive_double_error("0.25"), "");
+    EXPECT_EQ(positive_double_error("3"), "");
+    EXPECT_EQ(positive_double_error("1e-3"), "");
+}
+
+TEST(ArgParser, PositiveDoubleRejectsZeroAndNegativesPrecisely) {
+    // Each rejection names the option, the offending text, and the rule —
+    // never a silent fall-back to the default.
+    EXPECT_NE(positive_double_error("0").find("--ci-width must be > 0"),
+              std::string::npos);
+    EXPECT_NE(positive_double_error("0").find("'0'"), std::string::npos);
+    EXPECT_NE(positive_double_error("-0.5").find("must be > 0"),
+              std::string::npos);
+}
+
+TEST(ArgParser, DoubleRejectsGarbageAndTrailingJunk) {
+    EXPECT_NE(positive_double_error("abc").find("expects a number"),
+              std::string::npos);
+    EXPECT_NE(positive_double_error("abc").find("'abc'"), std::string::npos);
+    EXPECT_NE(positive_double_error("1.5abc").find("trailing characters"),
+              std::string::npos);
+    EXPECT_NE(positive_double_error("").find("expects a number"),
+              std::string::npos);
+}
+
+TEST(ArgParser, DoubleRejectsOutOfRangeAndNonFiniteValues) {
+    EXPECT_NE(positive_double_error("1e999").find("out of range"),
+              std::string::npos);
+    EXPECT_NE(positive_double_error("inf").find("must be finite"),
+              std::string::npos);
+    EXPECT_NE(positive_double_error("nan").find("must be finite"),
+              std::string::npos);
+}
+
+TEST(ArgParser, AdaptiveOptionsDeclareDocumentedDefaults) {
+    arg_parser parser;
+    parser.add_adaptive_options();
+    const std::array argv{"prog"};
+    ASSERT_TRUE(parser.parse(static_cast<int>(argv.size()), argv.data()));
+    EXPECT_FALSE(parser.get_flag("adaptive"));
+    EXPECT_DOUBLE_EQ(parser.get_positive_double("ci-width"), 0.5);
+    EXPECT_EQ(parser.get_int("min-reps"), 3);
+    EXPECT_EQ(parser.get_int("max-reps"), 0);
+}
+
 } // namespace

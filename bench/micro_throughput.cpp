@@ -1,14 +1,218 @@
-// Microbenchmarks (google-benchmark): throughput of the allocation kernels
-// and the RNG layer. These quantify the engineering claims of the library
-// itself (balls/second at various (k,d)), not the paper's statistical
-// results.
-#include <benchmark/benchmark.h>
-
+// Microbenchmarks: throughput of the allocation kernels and the RNG layer.
+// These quantify the engineering claims of the library itself (balls/second
+// at various (k,d)), not the paper's statistical results.
+//
+// Two modes:
+//
+//  * google-benchmark (default): the usual bm_* suite, now including the
+//    level-compressed kernels side by side with the per-bin ones.
+//
+//  * --json: a self-contained kernel comparison that times perbin vs level
+//    over an (n, k, d) grid and writes machine-readable JSON
+//    (BENCH_micro.json) — the recorded perf trajectory. CI uploads the file
+//    as an artifact and `--guard` turns it into a regression gate: exit 1
+//    if the level kernel is slower than the per-bin kernel on any cell with
+//    n >= 10^7 (a coarse 1.0x floor, far below the actual gap, so the gate
+//    is not flaky).
+//
+//      ./micro_throughput --json [--json-out=BENCH_micro.json] [--guard]
+//                         [--big-n=16777216] [--balls-factor=1] [--seed=42]
+//                         [--huge-n=0] [--huge-factor=10]
+//
+//    --huge-n adds a level-kernel-only cell (the per-bin kernel cannot
+//    represent the state): --huge-n=1000000000 --huge-factor=10 is the
+//    billion-bin, m = 10n run — minutes of wall clock, kilobytes of state.
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
 #include <vector>
 
 #include "core/kdchoice.hpp"
 #include "core/parallel_runner.hpp"
-#include "core/runner.hpp"
+#include "support/cli.hpp"
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// --json mode: perbin vs level kernel comparison grid.
+// ---------------------------------------------------------------------------
+
+struct json_cell {
+    std::string kernel;
+    std::uint64_t n = 0;
+    std::uint64_t k = 0;
+    std::uint64_t d = 0;
+    std::uint64_t balls = 0;
+    double seconds = 0.0;
+    double balls_per_sec = 0.0;
+};
+
+template <typename MakeProcess>
+json_cell time_cell(const char* kernel, std::uint64_t n, std::uint64_t k,
+                    std::uint64_t d, std::uint64_t balls,
+                    MakeProcess make_process) {
+    auto process = make_process();
+    const auto start = std::chrono::steady_clock::now();
+    process.run_balls(balls);
+    const auto stop = std::chrono::steady_clock::now();
+    json_cell cell;
+    cell.kernel = kernel;
+    cell.n = n;
+    cell.k = k;
+    cell.d = d;
+    cell.balls = balls;
+    cell.seconds = std::chrono::duration<double>(stop - start).count();
+    cell.balls_per_sec =
+        cell.seconds > 0.0 ? static_cast<double>(balls) / cell.seconds : 0.0;
+    // The final max load keeps the run observable (and the optimizer
+    // honest) without an O(n) metrics pass for the per-bin kernel.
+    std::cerr << "  " << kernel << " n=" << n << " k=" << k << " d=" << d
+              << ": " << static_cast<std::uint64_t>(cell.balls_per_sec)
+              << " balls/s (max load "
+              << kdc::core::observed_load_metrics(process).max_load << ")\n";
+    return cell;
+}
+
+void write_json(const std::string& path, std::uint64_t balls_factor,
+                const std::vector<json_cell>& cells) {
+    std::ofstream out(path);
+    if (!out) {
+        throw std::runtime_error("cannot open --json-out path: " + path);
+    }
+    out << "{\n"
+        << "  \"bench\": \"micro_throughput\",\n"
+        << "  \"schema\": \"kdchoice-bench-micro/v1\",\n"
+        << "  \"balls_factor\": " << balls_factor << ",\n"
+        << "  \"cells\": [\n";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const auto& cell = cells[i];
+        out << "    {\"kernel\": \"" << cell.kernel << "\", \"n\": " << cell.n
+            << ", \"k\": " << cell.k << ", \"d\": " << cell.d
+            << ", \"balls\": " << cell.balls << ", \"seconds\": "
+            << cell.seconds << ", \"balls_per_sec\": " << cell.balls_per_sec
+            << "}" << (i + 1 < cells.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+}
+
+int json_main(int argc, char** argv) {
+    kdc::arg_parser args;
+    args.add_flag("json", "kernel-comparison mode with JSON output");
+    args.add_option("json-out", "BENCH_micro.json", "output path");
+    args.add_option("big-n", "16777216",
+                    "largest comparison n (>= 10^7 cells feed --guard; 0 "
+                    "drops the large point)");
+    args.add_option("balls-factor", "1", "balls = factor * n per cell");
+    args.add_option("seed", "42", "seed for every timed run");
+    args.add_option("huge-n", "0",
+                    "when nonzero, add a level-only cell at this n (the "
+                    "billion-bin run: --huge-n=1000000000)");
+    args.add_option("huge-factor", "10",
+                    "balls = factor * n for the --huge-n cell");
+    args.add_flag("guard",
+                  "exit 1 if the level kernel is slower than perbin on any "
+                  "cell with n >= 10^7");
+    if (!args.parse(argc, argv)) {
+        return 0;
+    }
+    const auto big_n = static_cast<std::uint64_t>(args.get_int("big-n"));
+    const auto balls_factor =
+        static_cast<std::uint64_t>(args.get_int("balls-factor"));
+    const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+    const auto huge_n = static_cast<std::uint64_t>(args.get_int("huge-n"));
+    const auto huge_factor =
+        static_cast<std::uint64_t>(args.get_int("huge-factor"));
+
+    struct config {
+        std::uint64_t k, d;
+    };
+    const std::vector<config> configs{{1, 2}, {2, 4}, {8, 16}};
+    std::vector<std::uint64_t> sizes{1u << 16, 1u << 20};
+    if (big_n != 0) {
+        sizes.push_back(big_n);
+    }
+
+    std::vector<json_cell> cells;
+    for (const auto n : sizes) {
+        for (const auto& cfg : configs) {
+            const std::uint64_t balls =
+                balls_factor * kdc::core::whole_rounds_balls(n, cfg.k);
+            cells.push_back(time_cell(
+                "perbin", n, cfg.k, cfg.d, balls, [&] {
+                    return kdc::core::kd_choice_process(n, cfg.k, cfg.d,
+                                                        seed);
+                }));
+            cells.push_back(time_cell(
+                "level", n, cfg.k, cfg.d, balls, [&] {
+                    return kdc::core::kd_choice_level_process(n, cfg.k,
+                                                              cfg.d, seed);
+                }));
+        }
+    }
+    if (huge_n != 0) {
+        // Level kernel only: a per-bin load vector at this n would not fit.
+        const std::uint64_t k = 8;
+        const std::uint64_t d = 16;
+        const std::uint64_t balls =
+            huge_factor * kdc::core::whole_rounds_balls(huge_n, k);
+        cells.push_back(time_cell("level", huge_n, k, d, balls, [&] {
+            return kdc::core::kd_choice_level_process(huge_n, k, d, seed);
+        }));
+    }
+
+    write_json(args.get_string("json-out"), balls_factor, cells);
+    std::cerr << "wrote " << args.get_string("json-out") << " ("
+              << cells.size() << " cells)\n";
+
+    if (args.get_flag("guard")) {
+        bool ok = true;
+        std::size_t compared = 0;
+        for (const auto& perbin : cells) {
+            if (perbin.kernel != "perbin" || perbin.n < 10'000'000) {
+                continue;
+            }
+            for (const auto& level : cells) {
+                if (level.kernel != "level" || level.n != perbin.n ||
+                    level.k != perbin.k || level.d != perbin.d) {
+                    continue;
+                }
+                ++compared;
+                if (level.balls_per_sec < perbin.balls_per_sec) {
+                    std::cerr << "GUARD FAILED: level kernel slower than "
+                                 "perbin at n="
+                              << perbin.n << " k=" << perbin.k
+                              << " d=" << perbin.d << " ("
+                              << level.balls_per_sec << " vs "
+                              << perbin.balls_per_sec << " balls/s)\n";
+                    ok = false;
+                }
+            }
+        }
+        if (compared == 0) {
+            // A guard that checked nothing must not pass: --big-n below
+            // 10^7 (or 0) leaves the grid without any eligible cell.
+            std::cerr << "GUARD FAILED: no kernel pair with n >= 10^7 in "
+                         "the grid (raise --big-n)\n";
+            return 1;
+        }
+        if (!ok) {
+            return 1;
+        }
+        std::cerr << "guard OK: level kernel >= perbin on all " << compared
+                  << " cells with n >= 10^7\n";
+    }
+    return 0;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// google-benchmark mode.
+// ---------------------------------------------------------------------------
+
+#include <benchmark/benchmark.h>
+
 #include "rng/pcg32.hpp"
 #include "rng/sampling.hpp"
 #include "rng/uniform.hpp"
@@ -44,6 +248,17 @@ void bm_uniform_below(benchmark::State& state) {
 }
 BENCHMARK(bm_uniform_below)->Arg(193)->Arg(1 << 16)->Arg(1 << 30);
 
+void bm_batched_uniform(benchmark::State& state) {
+    kdc::rng::xoshiro256ss gen(42);
+    kdc::rng::batched_uniform batched(
+        static_cast<std::uint64_t>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(batched.next(gen));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(bm_batched_uniform)->Arg(193)->Arg(1 << 16)->Arg(1 << 30);
+
 void bm_sample_with_replacement(benchmark::State& state) {
     kdc::rng::xoshiro256ss gen(42);
     std::vector<std::uint32_t> out(static_cast<std::size_t>(state.range(0)));
@@ -56,7 +271,7 @@ void bm_sample_with_replacement(benchmark::State& state) {
 }
 BENCHMARK(bm_sample_with_replacement)->Arg(4)->Arg(64)->Arg(193);
 
-/// Balls/second for a full (k,d)-choice run at n = 2^16.
+/// Balls/second for a full (k,d)-choice run at n = 2^16 (per-bin kernel).
 void bm_kd_choice(benchmark::State& state) {
     const auto k = static_cast<std::uint64_t>(state.range(0));
     const auto d = static_cast<std::uint64_t>(state.range(1));
@@ -78,6 +293,57 @@ BENCHMARK(bm_kd_choice)
     ->Args({128, 193})
     ->Args({192, 193});
 
+/// The same runs on the level-compressed kernel: O(max-load) state, one
+/// Fenwick walk per probe. Compare against bm_kd_choice per (k,d) pair —
+/// and see bm_kd_choice_big for the large-n regime where per-bin loses.
+void bm_kd_choice_level(benchmark::State& state) {
+    const auto k = static_cast<std::uint64_t>(state.range(0));
+    const auto d = static_cast<std::uint64_t>(state.range(1));
+    constexpr std::uint64_t n = 1 << 16;
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        kdc::core::kd_choice_level_process process(n, k, d, ++seed);
+        process.run_balls(n - (n % k));
+        benchmark::DoNotOptimize(process.profile().max_level());
+    }
+    state.SetItemsProcessed(state.iterations() * (n - (n % k)));
+}
+BENCHMARK(bm_kd_choice_level)
+    ->Args({1, 2})
+    ->Args({2, 4})
+    ->Args({8, 16})
+    ->Args({64, 128})
+    ->Args({1, 193})
+    ->Args({128, 193})
+    ->Args({192, 193});
+
+/// The crossover pair: at n = 2^22 the per-bin load vector blows the cache
+/// and every probe is a memory stall; the level kernel's state still fits
+/// in L1.
+void bm_kd_choice_big(benchmark::State& state) {
+    constexpr std::uint64_t n = 1 << 22;
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        kdc::core::kd_choice_process process(n, 8, 16, ++seed);
+        process.run_balls(n);
+        benchmark::DoNotOptimize(process.loads().data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(bm_kd_choice_big)->Unit(benchmark::kMillisecond);
+
+void bm_kd_choice_level_big(benchmark::State& state) {
+    constexpr std::uint64_t n = 1 << 22;
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        kdc::core::kd_choice_level_process process(n, 8, 16, ++seed);
+        process.run_balls(n);
+        benchmark::DoNotOptimize(process.profile().max_level());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(bm_kd_choice_level_big)->Unit(benchmark::kMillisecond);
+
 void bm_single_choice(benchmark::State& state) {
     constexpr std::uint64_t n = 1 << 16;
     std::uint64_t seed = 1;
@@ -89,6 +355,18 @@ void bm_single_choice(benchmark::State& state) {
     state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(bm_single_choice);
+
+void bm_single_choice_level(benchmark::State& state) {
+    constexpr std::uint64_t n = 1 << 16;
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        kdc::core::single_choice_level_process process(n, ++seed);
+        process.run_balls(n);
+        benchmark::DoNotOptimize(process.profile().max_level());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(bm_single_choice_level);
 
 void bm_d_choice_fast_path(benchmark::State& state) {
     constexpr std::uint64_t n = 1 << 16;
@@ -102,6 +380,19 @@ void bm_d_choice_fast_path(benchmark::State& state) {
     state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(bm_d_choice_fast_path)->Arg(2)->Arg(4)->Arg(8);
+
+void bm_d_choice_level_fast_path(benchmark::State& state) {
+    constexpr std::uint64_t n = 1 << 16;
+    const auto d = static_cast<std::uint64_t>(state.range(0));
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        kdc::core::d_choice_level_process process(n, d, ++seed);
+        process.run_balls(n);
+        benchmark::DoNotOptimize(process.profile().max_level());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(bm_d_choice_level_fast_path)->Arg(2)->Arg(4)->Arg(8);
 
 /// Serial repetition sweep baseline for the parallel-runner comparison:
 /// a Table-1-style cell, 10 reps of (8,16)-choice at n = 2^15.
@@ -149,4 +440,19 @@ BENCHMARK(bm_sorted_loads);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    // `--json` switches to the self-contained kernel-comparison harness;
+    // everything else is google-benchmark's usual CLI.
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--json") {
+            return json_main(argc, argv);
+        }
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+        return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

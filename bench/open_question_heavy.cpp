@@ -10,11 +10,22 @@
 //        Theta(sqrt((m/n) log n))).
 // The single-choice and (1, 2)-choice columns anchor the two behaviours.
 //
-//   ./open_question_heavy [--n=16384] [--reps=5] [--seed=12]
+// All (factor, config) points run as ONE sweep on the shared work-stealing
+// pool; numbers are bit-identical at any --threads value. The heavily
+// loaded sweep is the level kernel's home turf: `--kernel=level` keeps
+// every repetition in O(max-load) state, so --max-factor can grow by orders
+// of magnitude without touching per-bin memory.
+//
+//   ./open_question_heavy [--n=16384] [--reps=5] [--seed=12] [--threads=0]
+//                         [--max-factor=64] [--csv] [--kernel=perbin|level]
+//                         [--adaptive --ci-width=0.4 --min-reps=3
+//                          --max-reps=40]
+#include <cstdint>
 #include <iostream>
+#include <string>
 #include <vector>
 
-#include "core/runner.hpp"
+#include "core/kdchoice.hpp"
 #include "support/cli.hpp"
 #include "support/text_table.hpp"
 
@@ -23,12 +34,21 @@ int main(int argc, char** argv) {
     args.add_option("n", "16384", "number of bins");
     args.add_option("reps", "5", "repetitions per point");
     args.add_option("seed", "12", "master seed");
+    args.add_option("max-factor", "64",
+                    "largest m/n load factor (x4 steps from 1)");
+    args.add_threads_option();
+    args.add_kernel_option();
+    args.add_adaptive_options();
+    args.add_flag("csv", "also emit CSV rows (m/n, config, gap mean)");
     if (!args.parse(argc, argv)) {
         return 0;
     }
     const auto n = static_cast<std::uint64_t>(args.get_int("n"));
     const auto reps = static_cast<std::uint32_t>(args.get_int("reps"));
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+    const auto max_factor =
+        static_cast<std::uint64_t>(args.get_int("max-factor"));
+    const auto kernel = kdc::core::kernel_from_cli(args);
 
     struct config {
         const char* label;
@@ -38,10 +58,43 @@ int main(int argc, char** argv) {
         {"single", 0, 0},   {"(1,2)", 1, 2},     {"(3,4)", 3, 4},
         {"(8,9)", 8, 9},    {"(16,17)", 16, 17}, {"(16,24)", 16, 24},
     };
-    const std::vector<std::uint64_t> load_factors{1, 4, 16, 64};
+    std::vector<std::uint64_t> load_factors;
+    for (std::uint64_t factor = 1; factor <= max_factor; factor *= 4) {
+        load_factors.push_back(factor);
+    }
+
+    // One cell per (factor, config) point, seeded exactly as the original
+    // nested serial loop (factor-major, one seed increment per point).
+    std::vector<kdc::core::sweep_cell> cells;
+    std::uint64_t point_seed = seed;
+    for (const auto factor : load_factors) {
+        const std::uint64_t m = factor * n;
+        for (const auto& cfg : configs) {
+            ++point_seed;
+            const std::string name =
+                std::string(cfg.label) + " m/n=" + std::to_string(factor);
+            if (cfg.k == 0) {
+                cells.push_back(kdc::core::make_single_choice_sweep_cell(
+                    name, n, {.balls = m, .reps = reps, .seed = point_seed},
+                    kernel));
+            } else {
+                cells.push_back(kdc::core::make_kd_sweep_cell(
+                    name, n, cfg.k, cfg.d,
+                    {.balls = m - (m % cfg.k), .reps = reps,
+                     .seed = point_seed},
+                    kernel));
+            }
+        }
+    }
+
+    kdc::core::sweep_options options;
+    options.threads = args.get_threads();
+    options.stopping = kdc::core::stopping_rule_from_cli(args);
+    const auto outcomes = kdc::core::run_sweep(cells, options);
 
     std::cout << "Open question (Section 7): heavily loaded gap for "
-                 "k < d < 2k, n = " << n << "\n"
+                 "k < d < 2k, n = " << n
+              << ", kernel = " << kdc::core::kernel_name(kernel) << "\n"
               << "gap = max load - m/n; anchors: single choice grows ~ "
                  "sqrt((m/n) ln n), (1,2) stays flat\n\n";
 
@@ -52,23 +105,12 @@ int main(int argc, char** argv) {
     }
     table.set_header(header);
 
-    std::uint64_t point_seed = seed;
+    std::size_t cursor = 0;
     for (const auto factor : load_factors) {
         std::vector<std::string> row{std::to_string(factor)};
-        const std::uint64_t m = factor * n;
-        for (const auto& cfg : configs) {
-            ++point_seed;
-            kdc::core::experiment_result result;
-            if (cfg.k == 0) {
-                result = kdc::core::run_single_choice_experiment(
-                    n, {.balls = m, .reps = reps, .seed = point_seed});
-            } else {
-                result = kdc::core::run_kd_experiment(
-                    n, cfg.k, cfg.d,
-                    {.balls = m - (m % cfg.k), .reps = reps,
-                     .seed = point_seed});
-            }
-            row.push_back(kdc::format_fixed(result.gap_stats.mean(), 2));
+        for (std::size_t c = 0; c < configs.size(); ++c) {
+            row.push_back(kdc::format_fixed(
+                outcomes[cursor++].result.gap_stats.mean(), 2));
         }
         table.add_row(std::move(row));
     }
@@ -78,5 +120,21 @@ int main(int argc, char** argv) {
                  "growing like single choice, the open question resolves "
                  "toward (H1) boundedness\n"
                  "at simulation scale.\n";
+
+    if (args.get_flag("csv")) {
+        kdc::core::sweep_emitter emitter;
+        emitter.add_name_column("cell")
+            .add_reps_column()
+            .add_stat_column("gap_mean",
+                             [](const kdc::core::sweep_outcome& outcome) {
+                                 return outcome.result.gap_stats.mean();
+                             })
+            .add_stat_column("max_load_mean",
+                             [](const kdc::core::sweep_outcome& outcome) {
+                                 return outcome.result.max_load_stats.mean();
+                             });
+        std::cout << "\nCSV:\n";
+        emitter.write_csv(std::cout, outcomes);
+    }
     return 0;
 }

@@ -13,8 +13,13 @@
 // fixed.
 //
 //   ./table1_maxload [--n=196608] [--reps=10] [--seed=1] [--threads=0]
-//                    [--csv] [--progress]
+//                    [--csv] [--progress] [--kernel=perbin|level]
 //                    [--adaptive --ci-width=0.4 --min-reps=3 --max-reps=40]
+//
+// --kernel=level runs every cell on the level-compressed kernel
+// (O(max-load) state, core/level_process.hpp): distributionally identical
+// numbers from a different RNG stream — the switch for n far beyond the
+// per-bin kernel's memory reach.
 //
 // --adaptive switches the engine's stopping rule to confidence_width: each
 // cell runs repetitions until the 95% Student-t CI half-width of its mean
@@ -47,6 +52,7 @@ int main(int argc, char** argv) {
     args.add_option("reps", "10", "simulation runs per cell (paper: 10)");
     args.add_option("seed", "1", "master seed");
     args.add_threads_option();
+    args.add_kernel_option();
     args.add_adaptive_options();
     args.add_flag("csv", "also emit CSV rows (k, d, max-load set, mean)");
     args.add_flag("progress", "report sweep progress on stderr");
@@ -56,6 +62,7 @@ int main(int argc, char** argv) {
     const auto n = static_cast<std::uint64_t>(args.get_int("n"));
     const auto reps = static_cast<std::uint32_t>(args.get_int("reps"));
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+    const auto kernel = kdc::core::kernel_from_cli(args);
 
     // One cell per valid grid entry, seeded exactly as the original nested
     // loop did (the counter also advances over invalid '-' cells).
@@ -71,22 +78,18 @@ int main(int argc, char** argv) {
                 // d = 1, k = 1 is the single-choice column; everything else
                 // with k >= d is undefined for (k,d)-choice.
                 if (d == 1 && k == 1) {
-                    cells.push_back(kdc::core::make_sweep_cell(
-                        name, {.balls = n, .reps = reps, .seed = cell_seed},
-                        [n](std::uint64_t s) {
-                            return kdc::core::single_choice_process(n, s);
-                        }));
+                    cells.push_back(kdc::core::make_single_choice_sweep_cell(
+                        name, n, {.balls = n, .reps = reps, .seed = cell_seed},
+                        kernel));
                     meta.push_back({k, d});
                 }
                 continue;
             }
-            cells.push_back(kdc::core::make_sweep_cell(
-                name,
+            cells.push_back(kdc::core::make_kd_sweep_cell(
+                name, n, k, d,
                 {.balls = kdc::core::whole_rounds_balls(n, k), .reps = reps,
                  .seed = cell_seed},
-                [n, k, d](std::uint64_t s) {
-                    return kdc::core::kd_choice_process(n, k, d, s);
-                }));
+                kernel));
             meta.push_back({k, d});
         }
     }
@@ -105,7 +108,8 @@ int main(int argc, char** argv) {
     const auto outcomes = kdc::core::run_sweep(cells, options);
 
     std::cout << "Table 1: maximum bin load for (k,d)-choice, n = " << n
-              << ", " << reps << " runs per cell\n"
+              << ", " << reps << " runs per cell, kernel = "
+              << kdc::core::kernel_name(kernel) << "\n"
               << "(cells list the distinct max loads seen across runs; '-' "
                  "marks invalid cells with k >= d)\n\n";
 

@@ -9,39 +9,108 @@
 // the (k,d) gap sits between the two brackets and stays flat in m
 // (Berenbrink et al.'s m-independence, which the paper's proof leans on).
 //
-//   ./theorem2_heavy [--n=65536] [--reps=5] [--seed=4]
+// Every (config, m/n, role) triple is one cell of a single sweep on the
+// shared work-stealing pool (core/engine.hpp scheduling); numbers are
+// bit-identical at any --threads value. This is exactly the regime the
+// level-compressed kernel exists for — `--kernel=level` runs the whole
+// sweep in O(max-load) state per repetition, so m/n and n can be pushed
+// orders of magnitude beyond the per-bin kernel's memory reach.
+//
+//   ./theorem2_heavy [--n=65536] [--reps=5] [--seed=4] [--threads=0]
+//                    [--max-factor=32] [--csv] [--kernel=perbin|level]
+//                    [--adaptive --ci-width=0.4 --min-reps=3 --max-reps=40]
+#include <cstdint>
 #include <iostream>
+#include <string>
 #include <vector>
 
-#include "core/runner.hpp"
+#include "core/kdchoice.hpp"
 #include "support/cli.hpp"
 #include "support/text_table.hpp"
 #include "theory/bounds.hpp"
+
+namespace {
+
+struct config {
+    std::uint64_t k, d;
+};
+
+struct cell_meta {
+    std::size_t config_index = 0;
+    std::uint64_t load_factor = 0;
+    const char* role = ""; // "lo" | "mid" | "hi"
+};
+
+} // namespace
 
 int main(int argc, char** argv) {
     kdc::arg_parser args;
     args.add_option("n", "65536", "number of bins");
     args.add_option("reps", "5", "repetitions per point");
     args.add_option("seed", "4", "master seed");
+    args.add_option("max-factor", "32",
+                    "largest m/n load factor (doubling from 1)");
+    args.add_threads_option();
+    args.add_kernel_option();
+    args.add_adaptive_options();
+    args.add_flag("csv", "also emit CSV rows (k, d, m/n, role, gap mean)");
     if (!args.parse(argc, argv)) {
         return 0;
     }
     const auto n = static_cast<std::uint64_t>(args.get_int("n"));
     const auto reps = static_cast<std::uint32_t>(args.get_int("reps"));
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+    const auto max_factor =
+        static_cast<std::uint64_t>(args.get_int("max-factor"));
+    const auto kernel = kdc::core::kernel_from_cli(args);
 
-    struct config {
-        std::uint64_t k, d;
-    };
     const std::vector<config> configs{{2, 4}, {2, 6}, {4, 8}, {8, 16}};
-    const std::vector<std::uint64_t> load_factors{1, 2, 4, 8, 16, 32};
+    std::vector<std::uint64_t> load_factors;
+    for (std::uint64_t factor = 1; factor <= max_factor; factor *= 2) {
+        load_factors.push_back(factor);
+    }
+
+    // One sweep over every (config, factor) point; the lo/mid/hi seeds
+    // reproduce the original serial loop exactly (point_seed, +7000, +9000).
+    std::vector<kdc::core::sweep_cell> cells;
+    std::vector<cell_meta> meta;
+    std::uint64_t point_seed = seed;
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+        const auto& cfg = configs[c];
+        for (const auto factor : load_factors) {
+            ++point_seed;
+            const std::uint64_t m = factor * n;
+            const std::string point = "(" + std::to_string(cfg.k) + "," +
+                                      std::to_string(cfg.d) +
+                                      ") m/n=" + std::to_string(factor);
+            cells.push_back(kdc::core::make_d_choice_sweep_cell(
+                point + " lo", n, cfg.d - cfg.k + 1,
+                {.balls = m, .reps = reps, .seed = point_seed + 7000},
+                kernel));
+            meta.push_back({c, factor, "lo"});
+            cells.push_back(kdc::core::make_kd_sweep_cell(
+                point + " mid", n, cfg.k, cfg.d,
+                {.balls = m, .reps = reps, .seed = point_seed}, kernel));
+            meta.push_back({c, factor, "mid"});
+            cells.push_back(kdc::core::make_d_choice_sweep_cell(
+                point + " hi", n, cfg.d / cfg.k,
+                {.balls = m, .reps = reps, .seed = point_seed + 9000},
+                kernel));
+            meta.push_back({c, factor, "hi"});
+        }
+    }
+
+    kdc::core::sweep_options options;
+    options.threads = args.get_threads();
+    options.stopping = kdc::core::stopping_rule_from_cli(args);
+    const auto outcomes = kdc::core::run_sweep(cells, options);
 
     std::cout << "Theorem 2: heavily loaded (k,d)-choice for d >= 2k, n = "
-              << n << "\n"
+              << n << ", kernel = " << kdc::core::kernel_name(kernel) << "\n"
               << "gap = measured max load - m/n; brackets are the d-choice "
                  "processes of the majorization sandwich\n\n";
 
-    std::uint64_t point_seed = seed;
+    std::size_t cursor = 0;
     for (const auto& cfg : configs) {
         const auto bound = kdc::theory::theorem2_bound(n, cfg.k, cfg.d);
         std::cout << "(k,d) = (" << cfg.k << "," << cfg.d
@@ -54,17 +123,9 @@ int main(int argc, char** argv) {
                           "gap (k,d)", "gap A(1," +
                               std::to_string(cfg.d / cfg.k) + ") [hi]"});
         for (const auto factor : load_factors) {
-            ++point_seed;
-            const std::uint64_t m = factor * n;
-            const auto mid = kdc::core::run_kd_experiment(
-                n, cfg.k, cfg.d,
-                {.balls = m, .reps = reps, .seed = point_seed});
-            const auto lo = kdc::core::run_d_choice_experiment(
-                n, cfg.d - cfg.k + 1,
-                {.balls = m, .reps = reps, .seed = point_seed + 7000});
-            const auto hi = kdc::core::run_d_choice_experiment(
-                n, cfg.d / cfg.k,
-                {.balls = m, .reps = reps, .seed = point_seed + 9000});
+            const auto& lo = outcomes[cursor++].result;
+            const auto& mid = outcomes[cursor++].result;
+            const auto& hi = outcomes[cursor++].result;
             table.add_row({std::to_string(factor),
                            kdc::format_fixed(lo.gap_stats.mean(), 2),
                            kdc::format_fixed(mid.gap_stats.mean(), 2),
@@ -74,5 +135,35 @@ int main(int argc, char** argv) {
     }
     std::cout << "Expected shape: middle column between the brackets, all "
                  "three flat in m/n.\n";
+
+    if (args.get_flag("csv")) {
+        kdc::core::sweep_emitter emitter;
+        emitter
+            .add_column("k",
+                        [&](const kdc::core::sweep_outcome&, std::size_t row) {
+                            return std::to_string(
+                                configs[meta[row].config_index].k);
+                        })
+            .add_column("d",
+                        [&](const kdc::core::sweep_outcome&, std::size_t row) {
+                            return std::to_string(
+                                configs[meta[row].config_index].d);
+                        })
+            .add_column("m_over_n",
+                        [&](const kdc::core::sweep_outcome&, std::size_t row) {
+                            return std::to_string(meta[row].load_factor);
+                        })
+            .add_column("role",
+                        [&](const kdc::core::sweep_outcome&, std::size_t row) {
+                            return std::string(meta[row].role);
+                        })
+            .add_reps_column()
+            .add_stat_column("gap_mean",
+                             [](const kdc::core::sweep_outcome& outcome) {
+                                 return outcome.result.gap_stats.mean();
+                             });
+        std::cout << "\nCSV:\n";
+        emitter.write_csv(std::cout, outcomes);
+    }
     return 0;
 }

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -64,6 +65,26 @@ public:
     }
 
     [[nodiscard]] std::uint64_t total() const { return prefix_sum(size()); }
+
+    /// Smallest index i with prefix_sum(i + 1) > target, i.e. the position
+    /// holding the (target + 1)-th unit when positions are laid out as runs
+    /// of their counts. This is weighted sampling in O(log size): draw
+    /// target uniform in [0, total()) and descend the implicit tree once,
+    /// instead of binary-searching prefix_sum. Requires target < total()
+    /// and every per-position count to be non-negative.
+    [[nodiscard]] std::size_t find_kth(std::uint64_t target) const {
+        KD_EXPECTS(target < total());
+        std::size_t pos = 0;
+        for (std::size_t step = std::bit_floor(tree_.size() - 1); step > 0;
+             step >>= 1) {
+            const std::size_t next = pos + step;
+            if (next < tree_.size() && tree_[next] <= target) {
+                target -= tree_[next];
+                pos = next;
+            }
+        }
+        return pos; // 0-based position; pos < size() because target < total()
+    }
 
     /// Count at a single position.
     [[nodiscard]] std::uint64_t value_at(std::size_t index) const {

@@ -13,6 +13,8 @@
 #include "core/baselines.hpp"   // (1+beta), batched-greedy, adaptive
 #include "core/coupling.hpp"    // Section 3 coupling experiments
 #include "core/exact.hpp"       // exact small-instance distributions
+#include "core/level_process.hpp" // level-compressed kernels (huge n)
+#include "core/level_profile.hpp" // counts-per-load-level state
 #include "core/metrics.hpp"     // nu_y / mu_y / sorted loads / gap
 #include "core/process.hpp"     // kd_choice_process + classic baselines
 #include "core/round_kernel.hpp" // one-round primitive (advanced use)

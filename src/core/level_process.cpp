@@ -1,0 +1,140 @@
+#include "core/level_process.hpp"
+
+#include <algorithm>
+
+#include "core/process.hpp"
+
+namespace kdc::core {
+
+static_assert(allocation_process<kd_choice_level_process>);
+static_assert(allocation_process<single_choice_level_process>);
+static_assert(allocation_process<d_choice_level_process>);
+
+kd_choice_level_process::kd_choice_level_process(std::uint64_t n,
+                                                 std::uint64_t k,
+                                                 std::uint64_t d,
+                                                 std::uint64_t seed)
+    : kd_choice_level_process(level_profile(n), k, d, seed) {}
+
+kd_choice_level_process::kd_choice_level_process(level_profile initial,
+                                                 std::uint64_t k,
+                                                 std::uint64_t d,
+                                                 std::uint64_t seed)
+    : profile_(std::move(initial)), k_(k), d_(d), gen_(seed),
+      probe_draws_(profile_.n()) {
+    KD_EXPECTS_MSG(k >= 1, "k must be positive");
+    KD_EXPECTS_MSG(k < d, "(k,d)-choice requires k < d");
+    KD_EXPECTS_MSG(d <= profile_.n(), "cannot probe more bins than exist");
+    distinct_.reserve(d);
+    slots_.reserve(d);
+    kept_per_probe_.reserve(d);
+}
+
+void kd_choice_level_process::run_round() {
+    // A bin sampled m times can gain up to m <= d balls this round.
+    profile_.ensure_levels(profile_.max_level() + d_ + 1);
+
+    // Probe step: one uniform-below-n draw decides collision vs fresh bin
+    // (see the header comment for the exactness argument). Fresh bins are
+    // extracted so later draws sample the remaining profile without
+    // replacement.
+    distinct_.clear();
+    for (std::uint64_t probe = 0; probe < d_; ++probe) {
+        const std::uint64_t v = probe_draws_.next(gen_);
+        const auto j = static_cast<std::uint64_t>(distinct_.size());
+        if (v < j) {
+            ++distinct_[static_cast<std::size_t>(v)].multiplicity;
+        } else {
+            const std::uint64_t level = profile_.level_at_rank(v - j);
+            profile_.extract_bin(level);
+            distinct_.push_back({level, 1});
+        }
+    }
+
+    // Multiplicity rule as slot selection, exactly as place_round: the m
+    // occurrences of a bin at level l own slots of heights l+1..l+m; keep
+    // the k smallest (height, tie_key) — ties broken uniformly at random.
+    slots_.clear();
+    for (std::uint32_t t = 0; t < distinct_.size(); ++t) {
+        const auto& probe = distinct_[t];
+        for (std::uint32_t occurrence = 1; occurrence <= probe.multiplicity;
+             ++occurrence) {
+            slots_.push_back(slot{probe.level + occurrence,
+                                  static_cast<std::uint64_t>(gen_()), t});
+        }
+    }
+    if (k_ < slots_.size()) {
+        std::nth_element(
+            slots_.begin(),
+            slots_.begin() + static_cast<std::ptrdiff_t>(k_ - 1), slots_.end(),
+            [](const slot& a, const slot& b) {
+                if (a.height != b.height) {
+                    return a.height < b.height;
+                }
+                return a.tie_key < b.tie_key;
+            });
+    }
+
+    // A kept slot implies all lower slots of the same bin are kept, so the
+    // per-bin kept count IS the bin's ball gain; reinsert each distinct bin
+    // at its post-round level.
+    kept_per_probe_.assign(distinct_.size(), 0);
+    for (std::size_t i = 0; i < k_; ++i) {
+        ++kept_per_probe_[slots_[i].probe];
+    }
+    for (std::uint32_t t = 0; t < distinct_.size(); ++t) {
+        profile_.insert_bin(distinct_[t].level + kept_per_probe_[t]);
+    }
+
+    balls_placed_ += k_;
+    rounds_run_ += 1;
+    messages_ += d_;
+}
+
+void kd_choice_level_process::run_balls(std::uint64_t balls) {
+    KD_EXPECTS_MSG(balls % k_ == 0,
+                   "balls must be a multiple of k (whole rounds)");
+    for (std::uint64_t placed = 0; placed < balls; placed += k_) {
+        run_round();
+    }
+}
+
+single_choice_level_process::single_choice_level_process(std::uint64_t n,
+                                                         std::uint64_t seed)
+    : profile_(n), gen_(seed), probe_draws_(n) {}
+
+void single_choice_level_process::run_balls(std::uint64_t balls) {
+    for (std::uint64_t ball = 0; ball < balls; ++ball) {
+        profile_.ensure_levels(profile_.max_level() + 2);
+        const std::uint64_t level =
+            profile_.level_at_rank(probe_draws_.next(gen_));
+        profile_.move_bin(level, level + 1);
+    }
+    balls_placed_ += balls;
+}
+
+d_choice_level_process::d_choice_level_process(std::uint64_t n,
+                                               std::uint64_t d,
+                                               std::uint64_t seed)
+    : profile_(n), d_(d), gen_(seed), probe_draws_(n) {
+    KD_EXPECTS(d >= 1);
+    KD_EXPECTS(d <= n);
+}
+
+void d_choice_level_process::run_balls(std::uint64_t balls) {
+    for (std::uint64_t ball = 0; ball < balls; ++ball) {
+        profile_.ensure_levels(profile_.max_level() + 2);
+        // Least loaded of d probes: only the minimum level matters, and any
+        // duplicate probes cannot change it, so d independent level draws
+        // are exact. Ties are between exchangeable bins — no keys needed.
+        std::uint64_t best = profile_.level_at_rank(probe_draws_.next(gen_));
+        for (std::uint64_t probe = 1; probe < d_ && best > 0; ++probe) {
+            best = std::min(best,
+                            profile_.level_at_rank(probe_draws_.next(gen_)));
+        }
+        profile_.move_bin(best, best + 1);
+    }
+    balls_placed_ += balls;
+}
+
+} // namespace kdc::core

@@ -1,0 +1,107 @@
+#include "core/level_profile.hpp"
+
+#include <algorithm>
+
+namespace kdc::core {
+
+namespace {
+
+/// A little initial headroom so the first rounds of an empty profile don't
+/// immediately trigger a Fenwick rebuild.
+constexpr std::uint64_t initial_levels = 8;
+
+} // namespace
+
+level_profile::level_profile(std::uint64_t n)
+    : counts_(initial_levels, 0), fenwick_(initial_levels), n_(n) {
+    KD_EXPECTS_MSG(n >= 1, "a profile needs at least one bin");
+    counts_[0] = n;
+    fenwick_.add(0, static_cast<std::int64_t>(n));
+}
+
+level_profile level_profile::from_loads(const load_vector& loads) {
+    KD_EXPECTS_MSG(!loads.empty(), "a profile needs at least one bin");
+    level_profile profile(loads.size());
+    // Rebuild the counts from scratch rather than n move_bin calls.
+    std::fill(profile.counts_.begin(), profile.counts_.end(), 0);
+    for (const bin_load load : loads) {
+        if (load >= profile.counts_.size()) {
+            profile.counts_.resize(std::max<std::size_t>(
+                                       load + 1, profile.counts_.size() * 2),
+                                   0);
+        }
+        ++profile.counts_[load];
+        profile.total_balls_ += load;
+        profile.max_level_ = std::max<std::uint64_t>(profile.max_level_, load);
+    }
+    profile.fenwick_ = fenwick_tree(profile.counts_.size());
+    for (std::size_t level = 0; level < profile.counts_.size(); ++level) {
+        if (profile.counts_[level] != 0) {
+            profile.fenwick_.add(
+                level, static_cast<std::int64_t>(profile.counts_[level]));
+        }
+    }
+    return profile;
+}
+
+void level_profile::ensure_levels(std::uint64_t level_count) {
+    if (level_count <= counts_.size()) {
+        return;
+    }
+    fenwick_.grow_to(level_count); // doubles internally, amortized O(L)
+    counts_.resize(fenwick_.size(), 0);
+}
+
+void level_profile::extract_bin(std::uint64_t level) {
+    KD_EXPECTS_MSG(level < counts_.size() && counts_[level] >= 1,
+                   "extract_bin needs a bin at that level");
+    --counts_[level];
+    fenwick_.add(level, -1);
+    total_balls_ -= level;
+    if (level == max_level_ && counts_[level] == 0) {
+        while (max_level_ > 0 && counts_[max_level_] == 0) {
+            --max_level_;
+        }
+    }
+}
+
+void level_profile::insert_bin(std::uint64_t level) {
+    KD_EXPECTS_MSG(level < counts_.size(),
+                   "insert_bin beyond capacity: call ensure_levels first");
+    ++counts_[level];
+    fenwick_.add(level, 1);
+    total_balls_ += level;
+    max_level_ = std::max(max_level_, level);
+}
+
+load_vector level_profile::to_sorted_loads() const {
+    KD_EXPECTS_MSG(remaining_bins() == n_,
+                   "profile has extracted bins mid-round");
+    load_vector loads;
+    loads.reserve(n_);
+    for (std::uint64_t level = max_level_ + 1; level-- > 0;) {
+        loads.insert(loads.end(), counts_[level],
+                     static_cast<bin_load>(level));
+    }
+    return loads;
+}
+
+load_metrics level_profile::metrics() const {
+    KD_EXPECTS_MSG(remaining_bins() == n_,
+                   "profile has extracted bins mid-round");
+    load_metrics out;
+    out.max_load = max_level_;
+    out.total_balls = total_balls_;
+    out.empty_bins = counts_[0];
+    std::uint64_t min_level = 0;
+    while (counts_[min_level] == 0) {
+        ++min_level; // terminates: some level holds a bin (n >= 1)
+    }
+    out.min_load = min_level;
+    out.mean_load =
+        static_cast<double>(total_balls_) / static_cast<double>(n_);
+    out.gap = static_cast<double>(out.max_load) - out.mean_load;
+    return out;
+}
+
+} // namespace kdc::core

@@ -1,0 +1,113 @@
+// Level-compressed state for exchangeable allocation processes: the number
+// of bins at each load level, instead of one entry per bin.
+//
+// The (k,d)-choice process is exchangeable over bins — every probe is
+// uniform and every rule depends only on loads — so its distribution is
+// fully captured by the LOAD PROFILE c_l = #bins with load l. That is
+// O(max load + 1) words of state instead of O(n): a billion-bin,
+// heavily-loaded run fits in a few kilobytes, and the per-probe operation
+// "pick a uniform random bin and tell me its load" becomes "pick level l
+// with probability c_l / n" — answered in O(log L) by a Fenwick tree over
+// levels (core/fenwick.hpp) instead of an O(1)-but-cache-missing load on a
+// multi-gigabyte array.
+//
+// The profile also supports temporary EXTRACTION of single bins. One round
+// of (k,d)-choice needs probes *without* replacement from the not-yet-probed
+// bins (core/level_process.hpp simulates the with-replacement collisions
+// explicitly); extract_bin removes one bin at a level from the sampling
+// population, and insert_bin returns it at its post-round level.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/fenwick.hpp"
+#include "core/metrics.hpp"
+#include "core/types.hpp"
+#include "support/contracts.hpp"
+
+namespace kdc::core {
+
+class level_profile {
+public:
+    /// n bins, all at level 0. Requires n >= 1.
+    explicit level_profile(std::uint64_t n);
+
+    /// The profile of an existing per-bin load vector (snapshot resume and
+    /// the per-bin/level equivalence tests).
+    [[nodiscard]] static level_profile from_loads(const load_vector& loads);
+
+    /// Total bins, including any currently extracted ones.
+    [[nodiscard]] std::uint64_t n() const noexcept { return n_; }
+
+    /// Bins currently in the sampling population (== n() unless a round is
+    /// mid-probe with extracted bins).
+    [[nodiscard]] std::uint64_t remaining_bins() const {
+        return fenwick_.total();
+    }
+
+    /// Balls held by the non-extracted bins.
+    [[nodiscard]] std::uint64_t total_balls() const noexcept {
+        return total_balls_;
+    }
+
+    /// Highest level with at least one (non-extracted) bin.
+    [[nodiscard]] std::uint64_t max_level() const noexcept {
+        return max_level_;
+    }
+
+    /// Number of (non-extracted) bins at `level`; zero beyond capacity.
+    [[nodiscard]] std::uint64_t bins_at(std::uint64_t level) const {
+        return level < counts_.size() ? counts_[level] : 0;
+    }
+
+    /// Addressable levels [0, level_capacity()); insert_bin targets must
+    /// stay below this. Grown amortized by ensure_levels.
+    [[nodiscard]] std::uint64_t level_capacity() const noexcept {
+        return counts_.size();
+    }
+
+    /// Grows the level domain to at least `level_count` levels (amortized
+    /// doubling; existing counts preserved).
+    void ensure_levels(std::uint64_t level_count);
+
+    /// Removes one bin at `level` from the sampling population. Requires
+    /// bins_at(level) >= 1.
+    void extract_bin(std::uint64_t level);
+
+    /// Returns one bin to the population at `level` (< level_capacity()).
+    void insert_bin(std::uint64_t level);
+
+    /// extract_bin(from) + insert_bin(to): one bin's load changes.
+    void move_bin(std::uint64_t from, std::uint64_t to) {
+        extract_bin(from);
+        insert_bin(to);
+    }
+
+    /// The level of the bin with the given rank when the remaining bins are
+    /// laid out level by level: uniform `rank` in [0, remaining_bins())
+    /// yields a level with probability proportional to its count — the
+    /// O(log L) "sample a uniform bin, observe its load" primitive.
+    [[nodiscard]] std::uint64_t level_at_rank(std::uint64_t rank) const {
+        return fenwick_.find_kth(rank);
+    }
+
+    /// The sorted (descending) load vector this profile represents — the
+    /// lossless view for metrics and distribution tests. O(n) output;
+    /// intended for small-n verification, not billion-bin runs. Requires no
+    /// bin to be extracted.
+    [[nodiscard]] load_vector to_sorted_loads() const;
+
+    /// Load metrics straight from the profile in O(L) — no per-bin pass.
+    /// Requires no bin to be extracted.
+    [[nodiscard]] load_metrics metrics() const;
+
+private:
+    std::vector<std::uint64_t> counts_;
+    fenwick_tree fenwick_;
+    std::uint64_t n_ = 0;
+    std::uint64_t total_balls_ = 0;
+    std::uint64_t max_level_ = 0;
+};
+
+} // namespace kdc::core

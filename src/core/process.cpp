@@ -21,15 +21,14 @@ kd_choice_process::kd_choice_process(load_vector initial_loads,
 }
 
 void kd_choice_process::run_round() {
+    const std::span<std::uint32_t> samples(sample_buffer_);
     if (probe_mode_ == probe_mode::with_replacement) {
-        rng::sample_with_replacement(gen_, loads_.size(),
-                                     std::span<std::uint32_t>(sample_buffer_));
+        rng::sample_with_replacement(gen_, loads_.size(), samples);
     } else {
-        rng::sample_without_replacement(
-            gen_, loads_.size(), sample_scratch_,
-            std::span<std::uint32_t>(sample_buffer_));
+        rng::sample_without_replacement(gen_, loads_.size(), sample_scratch_,
+                                        samples);
     }
-    run_round_with_samples(sample_buffer_);
+    run_round_with_samples(samples);
 }
 
 void kd_choice_process::run_round_with_samples(
@@ -45,8 +44,28 @@ void kd_choice_process::run_round_with_samples(
 void kd_choice_process::run_balls(std::uint64_t balls) {
     KD_EXPECTS_MSG(balls % k_ == 0,
                    "balls must be a multiple of k (whole rounds)");
-    for (std::uint64_t placed = 0; placed < balls; placed += k_) {
-        run_round();
+    if (record_heights_) {
+        // Every round appends exactly k entries; one up-front reserve
+        // replaces the reallocation churn of the figure benches' long runs.
+        height_log_.reserve(height_log_.size() + balls);
+    }
+    // The probe-mode branch and the sample span are loop-invariant: test the
+    // mode once and run a tight per-round loop instead of re-deciding (and
+    // rebuilding the span) every round as run_round() must.
+    const std::uint64_t rounds = balls / k_;
+    const std::uint64_t n = loads_.size();
+    const std::span<std::uint32_t> samples(sample_buffer_);
+    if (probe_mode_ == probe_mode::with_replacement) {
+        for (std::uint64_t round = 0; round < rounds; ++round) {
+            rng::sample_with_replacement(gen_, n, samples);
+            run_round_with_samples(samples);
+        }
+    } else {
+        for (std::uint64_t round = 0; round < rounds; ++round) {
+            rng::sample_without_replacement(gen_, n, sample_scratch_,
+                                            samples);
+            run_round_with_samples(samples);
+        }
     }
 }
 

@@ -22,15 +22,35 @@
 
 namespace kdc::core {
 
+/// A process whose final state is a per-bin load vector (O(n) state).
+template <typename P>
+concept per_bin_observable = requires(const P cp) {
+    { cp.loads() } -> std::convertible_to<const load_vector&>;
+};
+
+/// A process whose final state is a level profile — counts of bins per load
+/// level (O(max-load) state, core/level_profile.hpp). Bins are exchangeable
+/// for every process in this library, so the profile is a lossless view of
+/// the load distribution even though per-bin identities are gone.
+template <typename P>
+concept level_observable = requires(const P cp) {
+    cp.profile().metrics();
+    cp.profile().to_sorted_loads();
+};
+
 /// Concept for the process interface shared by every allocator in this
 /// library; the experiment runner and the benchmarks are generic over it.
+/// State is observable either per bin (loads()) or level-compressed
+/// (profile()); core/runner.hpp's observed_load_metrics dispatches on which
+/// view a process provides.
 template <typename P>
-concept allocation_process = requires(P p, const P cp, std::uint64_t balls) {
-    p.run_balls(balls);
-    { cp.loads() } -> std::convertible_to<const load_vector&>;
-    { cp.balls_placed() } -> std::convertible_to<std::uint64_t>;
-    { cp.messages() } -> std::convertible_to<std::uint64_t>;
-};
+concept allocation_process =
+    (per_bin_observable<P> || level_observable<P>) &&
+    requires(P p, const P cp, std::uint64_t balls) {
+        p.run_balls(balls);
+        { cp.balls_placed() } -> std::convertible_to<std::uint64_t>;
+        { cp.messages() } -> std::convertible_to<std::uint64_t>;
+    };
 
 /// How a round's d probes are drawn. The paper uses with_replacement
 /// (Section 1.1); without_replacement is an ablation: it removes the

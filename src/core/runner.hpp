@@ -23,7 +23,26 @@
 #include "stats/running_stats.hpp"
 #include "support/contracts.hpp"
 
+namespace kdc {
+class arg_parser;
+} // namespace kdc
+
 namespace kdc::core {
+
+/// Which simulation kernel backs an experiment's processes:
+///   * per_bin — one load entry per bin (core/process.hpp). O(n) state;
+///     supports per-bin observables (height logs, explicit probe multisets).
+///   * level — counts of bins per load level (core/level_process.hpp).
+///     O(max-load) state; distributionally identical, not bit-identical —
+///     billion-bin and heavily loaded runs belong here.
+enum class kernel_kind { per_bin, level };
+
+/// Parses the standard `--kernel={perbin,level}` option declared by
+/// arg_parser::add_kernel_option(). Throws cli_error on any other value.
+[[nodiscard]] kernel_kind kernel_from_cli(const arg_parser& args);
+
+/// Short name for labels and CSV cells: "perbin" or "level".
+[[nodiscard]] const char* kernel_name(kernel_kind kernel) noexcept;
 
 /// Configuration for a repetition sweep.
 struct experiment_config {
@@ -54,6 +73,19 @@ struct experiment_result {
     }
 };
 
+/// Final-state load metrics of a process under either state representation:
+/// an O(L) read of the level profile when the process exposes one, else the
+/// O(n) pass over per-bin loads.
+template <typename P>
+    requires per_bin_observable<P> || level_observable<P>
+[[nodiscard]] load_metrics observed_load_metrics(const P& process) {
+    if constexpr (level_observable<P>) {
+        return process.profile().metrics();
+    } else {
+        return compute_load_metrics(process.loads());
+    }
+}
+
 /// Runs one repetition with the given (already derived) seed and returns its
 /// observations. Shared by the serial and parallel runners so both measure
 /// exactly the same thing.
@@ -65,7 +97,7 @@ run_one_repetition(std::uint64_t derived_seed, std::uint64_t balls,
     static_assert(allocation_process<decltype(process)>);
     process.run_balls(balls);
 
-    const auto metrics = compute_load_metrics(process.loads());
+    const auto metrics = observed_load_metrics(process);
     repetition_result r;
     r.max_load = metrics.max_load;
     r.gap = metrics.gap;
@@ -110,19 +142,30 @@ template <typename Factory>
                                                std::uint64_t k);
 
 /// Convenience: the (k,d)-choice experiment with n bins and `balls` balls
-/// (balls defaults to whole_rounds_balls(n, k) when 0 is passed).
+/// (balls defaults to whole_rounds_balls(n, k) when 0 is passed). The
+/// kernel overloads run the same experiment on the chosen state
+/// representation; per_bin reproduces the two-argument overload exactly.
 [[nodiscard]] experiment_result
 run_kd_experiment(std::uint64_t n, std::uint64_t k, std::uint64_t d,
                   const experiment_config& config);
+[[nodiscard]] experiment_result
+run_kd_experiment(std::uint64_t n, std::uint64_t k, std::uint64_t d,
+                  const experiment_config& config, kernel_kind kernel);
 
 /// Convenience: single-choice with the same aggregation (Table 1's d = 1
 /// column).
 [[nodiscard]] experiment_result
 run_single_choice_experiment(std::uint64_t n, const experiment_config& config);
+[[nodiscard]] experiment_result
+run_single_choice_experiment(std::uint64_t n, const experiment_config& config,
+                             kernel_kind kernel);
 
 /// Convenience: classic d-choice (Table 1's k = 1 row).
 [[nodiscard]] experiment_result
 run_d_choice_experiment(std::uint64_t n, std::uint64_t d,
                         const experiment_config& config);
+[[nodiscard]] experiment_result
+run_d_choice_experiment(std::uint64_t n, std::uint64_t d,
+                        const experiment_config& config, kernel_kind kernel);
 
 } // namespace kdc::core

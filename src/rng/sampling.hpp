@@ -5,6 +5,7 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -13,6 +14,65 @@
 #include "support/contracts.hpp"
 
 namespace kdc::rng {
+
+/// Batched Lemire sampler for a FIXED bound: fills a block of raw 64-bit
+/// generator words ahead of time and reduces one per next() call, so a hot
+/// loop drawing millions of uniforms below the same bound (the level-kernel
+/// probe step samples below n for an entire run) is a tight
+/// pop-multiply-compare instead of a generator call per draw. The rejection
+/// threshold is computed once at construction — uniform_below pays its
+/// division on every unlucky low product instead.
+///
+/// next() consumes generator words in exactly the order repeated
+/// uniform_below(gen, bound) calls would, and accepts/rejects on the same
+/// condition, so the output stream is bit-identical to uniform_below for a
+/// same-seeded 64-bit generator.
+///
+/// The sampler holds no reference to the generator — next(gen) takes it per
+/// call, so the class is plain copyable state (bound, threshold, buffered
+/// words) and a process owning both a generator and a sampler can use the
+/// compiler-generated copy/move without dangling. Pass the SAME generator
+/// to every next() call: buffered words from one generator must not be
+/// mixed with refills from another.
+class batched_uniform {
+public:
+    /// Requires bound >= 1.
+    explicit batched_uniform(std::uint64_t bound) : bound_(bound) {
+        KD_EXPECTS(bound >= 1); // before the % below: no division by zero
+        threshold_ = (0 - bound) % bound;
+    }
+
+    [[nodiscard]] std::uint64_t bound() const noexcept { return bound_; }
+
+    /// One draw uniform in [0, bound), unbiased.
+    template <bit_generator_64 G>
+    [[nodiscard]] std::uint64_t next(G& gen) {
+        // GCC/Clang extension; pragma scoped as in uniform.hpp.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wpedantic"
+        using u128 = unsigned __int128;
+#pragma GCC diagnostic pop
+        for (;;) {
+            if (pos_ == buffer_.size()) {
+                for (auto& word : buffer_) {
+                    word = gen();
+                }
+                pos_ = 0;
+            }
+            const u128 m = static_cast<u128>(buffer_[pos_++]) *
+                           static_cast<u128>(bound_);
+            if (static_cast<std::uint64_t>(m) >= threshold_) {
+                return static_cast<std::uint64_t>(m >> 64);
+            }
+        }
+    }
+
+private:
+    std::uint64_t bound_;
+    std::uint64_t threshold_ = 0;
+    std::array<std::uint64_t, 256> buffer_{};
+    std::size_t pos_ = buffer_.size(); // first next() triggers a fill
+};
 
 /// Fills `out` with indices drawn i.u.r. *with replacement* from [0, n).
 /// This is exactly the probe step of the (k,d)-choice process.

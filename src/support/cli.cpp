@@ -29,6 +29,14 @@ void arg_parser::add_threads_option() {
                "threads); never changes reported numbers");
 }
 
+void arg_parser::add_kernel_option() {
+    add_option("kernel", "perbin",
+               "simulation kernel: 'perbin' (O(n) per-bin loads, the "
+               "reference) or 'level' (O(max-load) level-compressed state; "
+               "distributionally identical, different RNG stream — use for "
+               "huge n and heavily loaded runs)");
+}
+
 void arg_parser::add_adaptive_options() {
     add_flag("adaptive",
              "stop each cell's repetitions early once the 95% Student-t CI "

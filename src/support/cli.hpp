@@ -39,6 +39,12 @@ public:
     /// core::resolve_thread_count — the one place that semantic lives.
     [[nodiscard]] unsigned get_threads() const;
 
+    /// Declares the standard `--kernel={perbin,level}` option: which
+    /// simulation kernel backs the experiment's processes (per-bin loads vs
+    /// level-compressed counts; see core/level_process.hpp). Parsed and
+    /// validated by core::kernel_from_cli.
+    void add_kernel_option();
+
     /// Declares the standard adaptive-precision options shared by the sweep
     /// binaries: `--adaptive` (switch the execution engine's stopping rule
     /// from fixed_reps to confidence_width), `--ci-width` (target 95% CI

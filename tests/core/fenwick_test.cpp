@@ -76,6 +76,59 @@ TEST(FenwickTree, GrowToSmallerIsNoOp) {
     EXPECT_EQ(tree.value_at(5), 5u);
 }
 
+TEST(FenwickTree, FindKthWalksRunsOfCounts) {
+    // Counts {2, 0, 3, 1} laid out as runs: targets 0,1 -> pos 0;
+    // 2,3,4 -> pos 2; 5 -> pos 3.
+    fenwick_tree tree(4);
+    tree.add(0, 2);
+    tree.add(2, 3);
+    tree.add(3, 1);
+    EXPECT_EQ(tree.find_kth(0), 0u);
+    EXPECT_EQ(tree.find_kth(1), 0u);
+    EXPECT_EQ(tree.find_kth(2), 2u);
+    EXPECT_EQ(tree.find_kth(4), 2u);
+    EXPECT_EQ(tree.find_kth(5), 3u);
+}
+
+TEST(FenwickTree, FindKthMatchesNaiveScan) {
+    fenwick_tree tree(37); // deliberately not a power of two
+    std::vector<std::uint64_t> counts(37, 0);
+    kdc::rng::xoshiro256ss gen(5);
+    for (int op = 0; op < 400; ++op) {
+        const auto idx =
+            static_cast<std::size_t>(kdc::rng::uniform_below(gen, 37));
+        tree.add(idx, 1 + static_cast<std::int64_t>(
+                              kdc::rng::uniform_below(gen, 3)));
+        counts[idx] = tree.value_at(idx);
+    }
+    std::uint64_t target = 0;
+    for (std::size_t pos = 0; pos < counts.size(); ++pos) {
+        for (std::uint64_t unit = 0; unit < counts[pos]; ++unit) {
+            ASSERT_EQ(tree.find_kth(target), pos) << "target " << target;
+            ++target;
+        }
+    }
+    EXPECT_EQ(target, tree.total());
+}
+
+TEST(FenwickTree, FindKthSurvivesGrow) {
+    fenwick_tree tree(4);
+    tree.add(1, 4);
+    tree.grow_to(100);
+    tree.add(90, 2);
+    EXPECT_EQ(tree.find_kth(0), 1u);
+    EXPECT_EQ(tree.find_kth(3), 1u);
+    EXPECT_EQ(tree.find_kth(4), 90u);
+    EXPECT_EQ(tree.find_kth(5), 90u);
+}
+
+TEST(FenwickTree, FindKthBeyondTotalViolatesContract) {
+    fenwick_tree tree(4);
+    EXPECT_THROW((void)tree.find_kth(0), kdc::contract_violation);
+    tree.add(2, 2);
+    EXPECT_THROW((void)tree.find_kth(2), kdc::contract_violation);
+}
+
 TEST(FenwickTree, OutOfRangeViolatesContract) {
     fenwick_tree tree(4);
     EXPECT_THROW(tree.add(4, 1), kdc::contract_violation);

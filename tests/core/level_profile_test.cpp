@@ -1,0 +1,147 @@
+#include "core/level_profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "support/contracts.hpp"
+
+namespace {
+
+using kdc::core::compute_load_metrics;
+using kdc::core::level_profile;
+using kdc::core::load_vector;
+
+TEST(LevelProfile, FreshProfileIsAllEmptyBins) {
+    level_profile profile(5);
+    EXPECT_EQ(profile.n(), 5u);
+    EXPECT_EQ(profile.remaining_bins(), 5u);
+    EXPECT_EQ(profile.total_balls(), 0u);
+    EXPECT_EQ(profile.max_level(), 0u);
+    EXPECT_EQ(profile.bins_at(0), 5u);
+    EXPECT_EQ(profile.bins_at(1), 0u);
+    EXPECT_EQ(profile.bins_at(1u << 20), 0u); // beyond capacity: zero
+}
+
+TEST(LevelProfile, RequiresAtLeastOneBin) {
+    EXPECT_THROW(level_profile(0), kdc::contract_violation);
+}
+
+TEST(LevelProfile, MoveBinTracksCountsBallsAndMax) {
+    level_profile profile(3);
+    profile.move_bin(0, 1);
+    profile.move_bin(0, 1);
+    profile.move_bin(1, 2);
+    EXPECT_EQ(profile.bins_at(0), 1u);
+    EXPECT_EQ(profile.bins_at(1), 1u);
+    EXPECT_EQ(profile.bins_at(2), 1u);
+    EXPECT_EQ(profile.total_balls(), 3u);
+    EXPECT_EQ(profile.max_level(), 2u);
+}
+
+TEST(LevelProfile, MaxLevelShrinksWhenTopBinLeaves) {
+    const auto profile_loads = load_vector{4, 1};
+    auto profile = level_profile::from_loads(profile_loads);
+    EXPECT_EQ(profile.max_level(), 4u);
+    profile.extract_bin(4);
+    EXPECT_EQ(profile.max_level(), 1u);
+    profile.insert_bin(4);
+    EXPECT_EQ(profile.max_level(), 4u);
+}
+
+TEST(LevelProfile, ExtractInsertRoundTrip) {
+    auto profile = level_profile::from_loads({2, 2, 0});
+    profile.extract_bin(2);
+    EXPECT_EQ(profile.remaining_bins(), 2u);
+    EXPECT_EQ(profile.total_balls(), 2u);
+    profile.insert_bin(2);
+    EXPECT_EQ(profile.remaining_bins(), 3u);
+    EXPECT_EQ(profile.total_balls(), 4u);
+    EXPECT_EQ(profile.bins_at(2), 2u);
+}
+
+TEST(LevelProfile, ExtractFromEmptyLevelViolatesContract) {
+    level_profile profile(2);
+    EXPECT_THROW(profile.extract_bin(1), kdc::contract_violation);
+    EXPECT_THROW(profile.extract_bin(1u << 30), kdc::contract_violation);
+}
+
+TEST(LevelProfile, InsertBeyondCapacityViolatesContract) {
+    level_profile profile(2);
+    EXPECT_THROW(profile.insert_bin(profile.level_capacity()),
+                 kdc::contract_violation);
+    profile.ensure_levels(100);
+    EXPECT_GE(profile.level_capacity(), 100u);
+    profile.move_bin(0, 99); // now legal
+    EXPECT_EQ(profile.max_level(), 99u);
+}
+
+TEST(LevelProfile, EnsureLevelsPreservesState) {
+    auto profile = level_profile::from_loads({3, 1, 0, 0});
+    profile.ensure_levels(500);
+    EXPECT_EQ(profile.bins_at(0), 2u);
+    EXPECT_EQ(profile.bins_at(1), 1u);
+    EXPECT_EQ(profile.bins_at(3), 1u);
+    EXPECT_EQ(profile.total_balls(), 4u);
+    EXPECT_EQ(profile.remaining_bins(), 4u);
+}
+
+TEST(LevelProfile, LevelAtRankWalksLevelsInOrder) {
+    // Loads {3,1,1,0}: one bin at level 0, two at level 1, one at level 3.
+    // Ranks are laid out level by level: 0 -> l0, 1..2 -> l1, 3 -> l3.
+    const auto profile = level_profile::from_loads({3, 1, 1, 0});
+    EXPECT_EQ(profile.level_at_rank(0), 0u);
+    EXPECT_EQ(profile.level_at_rank(1), 1u);
+    EXPECT_EQ(profile.level_at_rank(2), 1u);
+    EXPECT_EQ(profile.level_at_rank(3), 3u);
+}
+
+TEST(LevelProfile, LevelAtRankSeesExtractions) {
+    auto profile = level_profile::from_loads({2, 1, 0});
+    profile.extract_bin(0);
+    // Remaining: one bin at level 1, one at level 2.
+    ASSERT_EQ(profile.remaining_bins(), 2u);
+    EXPECT_EQ(profile.level_at_rank(0), 1u);
+    EXPECT_EQ(profile.level_at_rank(1), 2u);
+}
+
+TEST(LevelProfile, FromLoadsToSortedLoadsRoundTrips) {
+    const load_vector loads{0, 7, 3, 3, 1, 0, 2};
+    const auto profile = level_profile::from_loads(loads);
+    const load_vector expected{7, 3, 3, 2, 1, 0, 0};
+    EXPECT_EQ(profile.to_sorted_loads(), expected);
+}
+
+TEST(LevelProfile, MetricsMatchPerBinComputation) {
+    const load_vector loads{0, 7, 3, 3, 1, 0, 2};
+    const auto profile = level_profile::from_loads(loads);
+    const auto expected = compute_load_metrics(loads);
+    const auto got = profile.metrics();
+    EXPECT_EQ(got.max_load, expected.max_load);
+    EXPECT_EQ(got.min_load, expected.min_load);
+    EXPECT_EQ(got.total_balls, expected.total_balls);
+    EXPECT_EQ(got.empty_bins, expected.empty_bins);
+    EXPECT_DOUBLE_EQ(got.mean_load, expected.mean_load);
+    EXPECT_DOUBLE_EQ(got.gap, expected.gap);
+}
+
+TEST(LevelProfile, MetricsWithNoEmptyBins) {
+    const load_vector loads{2, 1, 1};
+    const auto profile = level_profile::from_loads(loads);
+    const auto got = profile.metrics();
+    EXPECT_EQ(got.empty_bins, 0u);
+    EXPECT_EQ(got.min_load, 1u);
+}
+
+TEST(LevelProfile, BillionBinProfileIsTiny) {
+    // The whole point: state scales with max load, not n.
+    level_profile profile(1'000'000'000ULL);
+    EXPECT_EQ(profile.n(), 1'000'000'000ULL);
+    profile.move_bin(0, 1);
+    EXPECT_EQ(profile.bins_at(0), 999'999'999ULL);
+    EXPECT_EQ(profile.level_at_rank(999'999'999ULL), 1u);
+    EXPECT_LT(profile.level_capacity(), 64u);
+}
+
+} // namespace

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <map>
 #include <numeric>
 #include <vector>
@@ -177,6 +178,48 @@ TEST(RoundKernel, ContractViolations) {
     const std::vector<std::uint32_t> out_of_range{0, 9};
     EXPECT_THROW(place_round(loads, out_of_range, 1, gen, scratch),
                  kdc::contract_violation);
+}
+
+TEST(RoundKernel, EpochWrapAroundStillDetectsDuplicates) {
+    // Force the ++epoch == 0 clear-and-restart branch. If the wrap left
+    // stale stamps behind, the duplicate bin 0 would not be grouped and its
+    // two slots would BOTH sit at height 1 — making loads {2, 0} reachable.
+    // Correct grouping gives slots (1, bin0), (2, bin0), (1, bin1): the two
+    // kept slots are the height-1 pair, so the outcome is always {1, 1}.
+    const std::vector<std::uint32_t> samples{0, 0, 1};
+    for (std::uint64_t seed = 0; seed < 32; ++seed) {
+        xoshiro256ss gen(seed);
+        round_scratch scratch;
+        // Warm the stamps (so the wrap path clears a used array), then
+        // position the epoch one increment away from wrapping.
+        load_vector warm(2, 0);
+        place_round(warm, samples, 2, gen, scratch);
+        scratch.epoch = std::numeric_limits<std::uint32_t>::max();
+
+        load_vector loads(2, 0);
+        place_round(loads, samples, 2, gen, scratch);
+        EXPECT_EQ(scratch.epoch, 1u) << "wrap must restart the epoch at 1";
+        EXPECT_EQ(loads[0], 1u) << "seed " << seed;
+        EXPECT_EQ(loads[1], 1u) << "seed " << seed;
+    }
+}
+
+TEST(RoundKernel, RoundsAfterEpochWrapStayCorrect) {
+    // The round after a wrap runs with epoch 2 against freshly zeroed
+    // stamps; duplicate detection must keep working.
+    xoshiro256ss gen(7);
+    round_scratch scratch;
+    const std::vector<std::uint32_t> samples{0, 0, 1};
+    load_vector warm(2, 0);
+    place_round(warm, samples, 2, gen, scratch); // size the stamp array
+    scratch.epoch = std::numeric_limits<std::uint32_t>::max();
+    for (int round = 0; round < 4; ++round) {
+        load_vector loads(2, 0);
+        place_round(loads, samples, 2, gen, scratch);
+        EXPECT_EQ(loads[0], 1u) << "round " << round;
+        EXPECT_EQ(loads[1], 1u) << "round " << round;
+    }
+    EXPECT_EQ(scratch.epoch, 4u);
 }
 
 TEST(RoundKernel, ScratchReuseAcrossDifferentSizes) {

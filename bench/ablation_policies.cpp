@@ -14,8 +14,14 @@
 // parallel; reported numbers are bit-identical at any --threads value.
 //
 //   ./ablation_policies [--n=196608] [--reps=10] [--seed=8] [--threads=0]
-//                       [--csv]
+//                       [--csv] [--scenario "kd:n=...,kernel=auto"]
 //                       [--adaptive --ci-width=0.4 --min-reps=3 --max-reps=40]
+//
+// Phase-1 cells are declarative scenarios (core/scenario.hpp): the
+// standard process is the "kd" policy, the Section 7 variant the "greedy"
+// policy. --scenario overrides the legacy flags key by key. The sigma
+// phase exercises serialized_process, which is deliberately outside the
+// scenario vocabulary (it ablates the schedule, not the policy).
 #include <iostream>
 #include <vector>
 
@@ -29,14 +35,20 @@ int main(int argc, char** argv) {
     args.add_option("reps", "10", "repetitions per configuration");
     args.add_option("seed", "8", "master seed");
     args.add_threads_option();
+    args.add_scenario_option();
     args.add_adaptive_options();
     args.add_flag("csv", "also emit CSV rows (cell, mean max, set)");
     if (!args.parse(argc, argv)) {
         return 0;
     }
-    const auto n = static_cast<std::uint64_t>(args.get_int("n"));
     const auto reps = static_cast<std::uint32_t>(args.get_int("reps"));
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+
+    kdc::core::scenario base;
+    base.n = static_cast<std::uint64_t>(args.get_int("n"));
+    base.kernel = kdc::core::kernel_choice::per_bin; // legacy default
+    const auto merged = kdc::core::scenario_from_cli(args, base);
+    const auto n = merged.n;
 
     struct config {
         std::uint64_t k, d;
@@ -53,18 +65,21 @@ int main(int argc, char** argv) {
         const auto balls = n - (n % cfg.k);
         const std::string kd =
             "(" + std::to_string(cfg.k) + "," + std::to_string(cfg.d) + ")";
-        policy_cells.push_back(kdc::core::make_sweep_cell(
-            kd + " standard",
-            {.balls = balls, .reps = reps, .seed = cfg_seed},
-            [n, cfg](std::uint64_t s) {
-                return kdc::core::kd_choice_process(n, cfg.k, cfg.d, s);
-            }));
-        policy_cells.push_back(kdc::core::make_sweep_cell(
-            kd + " greedy",
-            {.balls = balls, .reps = reps, .seed = cfg_seed + 5000},
-            [n, cfg](std::uint64_t s) {
-                return kdc::core::batched_greedy_process(n, cfg.k, cfg.d, s);
-            }));
+        auto standard = merged;
+        standard.k = cfg.k;
+        standard.d = cfg.d;
+        policy_cells.push_back(kdc::core::make_scenario_cell(
+            kd + " standard", standard,
+            {.balls = balls, .reps = reps, .seed = cfg_seed}));
+        auto greedy = standard;
+        greedy.family = "greedy";
+        greedy.probe = kdc::core::probe_policy::uniform;
+        // greedy has no level kernel; auto degrades to perbin so a
+        // kernel=level scenario still runs the whole ablation.
+        greedy.kernel = kdc::core::kernel_choice::auto_pick;
+        policy_cells.push_back(kdc::core::make_scenario_cell(
+            kd + " greedy", greedy,
+            {.balls = balls, .reps = reps, .seed = cfg_seed + 5000}));
     }
 
     // Phase 2 cells: one per sigma schedule, all on the same master seed

@@ -10,6 +10,13 @@
 //     budget 3    msg/ball:  3-choice           vs  (2,6), (k, 3k)
 //
 //   ./baselines_compare [--n=196608] [--reps=10] [--seed=6]
+//                       [--scenario "kd:n=..."]
+//
+// Every scheme is a declarative scenario run through
+// run_scenario_experiment (core/scenario.hpp): single/d-choice, (1+beta)
+// and the adaptive threshold baseline are policy-registry entries, so one
+// code path constructs them all. --scenario overrides the legacy flags key
+// by key (byte-identical output for equivalent settings).
 #include <iostream>
 #include <vector>
 
@@ -22,12 +29,18 @@ int main(int argc, char** argv) {
     args.add_option("n", "196608", "number of bins and balls");
     args.add_option("reps", "10", "repetitions per scheme");
     args.add_option("seed", "6", "master seed");
+    args.add_scenario_option();
     if (!args.parse(argc, argv)) {
         return 0;
     }
-    const auto n = static_cast<std::uint64_t>(args.get_int("n"));
     const auto reps = static_cast<std::uint32_t>(args.get_int("reps"));
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+
+    kdc::core::scenario base;
+    base.n = static_cast<std::uint64_t>(args.get_int("n"));
+    base.kernel = kdc::core::kernel_choice::per_bin; // legacy default
+    const auto merged = kdc::core::scenario_from_cli(args, base);
+    const auto n = merged.n;
 
     kdc::text_table table;
     table.set_header({"budget", "scheme", "msgs/ball", "mean max", "gap",
@@ -36,10 +49,10 @@ int main(int argc, char** argv) {
 
     std::uint64_t scheme_id = 0;
     auto run = [&](const char* budget, const std::string& name,
-                   auto&& factory, std::uint64_t balls) {
-        const auto result = kdc::core::run_experiment(
-            {.balls = balls, .reps = reps, .seed = seed + (++scheme_id)},
-            factory);
+                   const kdc::core::scenario& sc, std::uint64_t balls) {
+        const auto result = kdc::core::run_scenario_experiment(
+            sc,
+            {.balls = balls, .reps = reps, .seed = seed + (++scheme_id)});
         table.add_row(
             {budget, name,
              kdc::format_fixed(result.message_stats.mean() /
@@ -49,56 +62,60 @@ int main(int argc, char** argv) {
              result.max_load_set()});
     };
 
-    run("1.0", "single choice",
-        [n](std::uint64_t s) { return kdc::core::single_choice_process(n, s); },
-        n);
+    using kdc::core::probe_policy;
+    auto kd = [&](std::uint64_t k, std::uint64_t d) {
+        auto sc = merged;
+        sc.family = "kd";
+        sc.probe = probe_policy::uniform;
+        sc.k = k;
+        sc.d = d;
+        return sc;
+    };
+    auto one_plus_beta = [&](double beta) {
+        auto sc = merged;
+        sc.family = "kd";
+        sc.probe = probe_policy::one_plus_beta;
+        sc.beta = beta;
+        return sc;
+    };
+    auto dchoice = [&](std::uint64_t d) {
+        auto sc = merged;
+        sc.family = "dchoice";
+        sc.probe = probe_policy::uniform;
+        sc.k = 1;
+        sc.d = d;
+        return sc;
+    };
 
-    run("1.25", "(1+beta) beta=0.25",
-        [n](std::uint64_t s) {
-            return kdc::core::one_plus_beta_process(n, 0.25, s);
-        }, n);
-    run("1.25", "(4,5)-choice",
-        [n](std::uint64_t s) {
-            return kdc::core::kd_choice_process(n, 4, 5, s);
-        }, n);
+    {
+        auto sc = merged;
+        sc.family = "single";
+        sc.probe = probe_policy::uniform;
+        run("1.0", "single choice", sc, n);
+    }
 
-    run("1.5", "(1+beta) beta=0.5",
-        [n](std::uint64_t s) {
-            return kdc::core::one_plus_beta_process(n, 0.5, s);
-        }, n);
-    run("1.5", "(2,3)-choice",
-        [n](std::uint64_t s) {
-            return kdc::core::kd_choice_process(n, 2, 3, s);
-        }, n);
+    run("1.25", "(1+beta) beta=0.25", one_plus_beta(0.25), n);
+    run("1.25", "(4,5)-choice", kd(4, 5), n);
 
-    run("2.0", "2-choice",
-        [n](std::uint64_t s) { return kdc::core::d_choice_process(n, 2, s); },
-        n);
-    run("2.0", "(2,4)-choice",
-        [n](std::uint64_t s) {
-            return kdc::core::kd_choice_process(n, 2, 4, s);
-        }, n);
-    run("2.0", "(64,128)-choice",
-        [n](std::uint64_t s) {
-            return kdc::core::kd_choice_process(n, 64, 128, s);
-        }, n);
+    run("1.5", "(1+beta) beta=0.5", one_plus_beta(0.5), n);
+    run("1.5", "(2,3)-choice", kd(2, 3), n);
 
-    run("3.0", "3-choice",
-        [n](std::uint64_t s) { return kdc::core::d_choice_process(n, 3, s); },
-        n);
-    run("3.0", "(2,6)-choice",
-        [n](std::uint64_t s) {
-            return kdc::core::kd_choice_process(n, 2, 6, s);
-        }, n);
-    run("3.0", "(64,192)-choice",
-        [n](std::uint64_t s) {
-            return kdc::core::kd_choice_process(n, 64, 192, s);
-        }, n);
+    run("2.0", "2-choice", dchoice(2), n);
+    run("2.0", "(2,4)-choice", kd(2, 4), n);
+    run("2.0", "(64,128)-choice", kd(64, 128), n);
 
-    run("~1.1", "adaptive T=2 cap=16",
-        [n](std::uint64_t s) {
-            return kdc::core::adaptive_threshold_process(n, 2, 16, s);
-        }, n);
+    run("3.0", "3-choice", dchoice(3), n);
+    run("3.0", "(2,6)-choice", kd(2, 6), n);
+    run("3.0", "(64,192)-choice", kd(64, 192), n);
+
+    {
+        auto sc = merged;
+        sc.family = "kd";
+        sc.probe = probe_policy::threshold;
+        sc.threshold = 2;
+        sc.cap = 16;
+        run("~1.1", "adaptive T=2 cap=16", sc, n);
+    }
 
     std::cout << "Baseline comparison at matched message budgets, n = " << n
               << " (" << reps << " reps)\n\n"

@@ -19,7 +19,14 @@
 //
 //   ./fig1_sorted_load [--n=196608] [--k=4] [--d=8] [--seed=1] [--reps=5]
 //                      [--threads=0] [--csv]
+//                      [--scenario "kd:n=...,kernel=level"]
 //                      [--adaptive --ci-width=0.4 --max-reps=40]
+//
+// The repetition body runs a declarative scenario (core/scenario.hpp)
+// through make_process, so the profile works on any kernel (the level
+// kernel's sorted profile is lossless) and any policy; --scenario
+// overrides the legacy flags key by key, byte-identically for equivalent
+// settings.
 #include <algorithm>
 #include <array>
 #include <cmath>
@@ -40,7 +47,26 @@ struct rep_profile {
     std::vector<std::uint64_t> nu;
     double b1 = 0.0;
     double b_beta0 = 0.0;
+    double gap = 0.0;
+    double messages = 0.0;
 };
+
+/// nu_y (bins with load >= y) from a descending sorted load vector —
+/// identical to core::nu_profile on integer loads, and kernel-agnostic.
+std::vector<std::uint64_t> nu_from_sorted(const std::vector<double>& sorted) {
+    const double max = sorted.empty() ? 0.0 : sorted.front();
+    std::vector<std::uint64_t> nu(static_cast<std::size_t>(max) + 1, 0);
+    nu[0] = sorted.size();
+    for (std::size_t y = 1; y < nu.size(); ++y) {
+        const auto first_below = std::partition_point(
+            sorted.begin(), sorted.end(), [y](double load) {
+                return load >= static_cast<double>(y);
+            });
+        nu[y] = static_cast<std::uint64_t>(
+            std::distance(sorted.begin(), first_below));
+    }
+    return nu;
+}
 
 } // namespace
 
@@ -52,16 +78,24 @@ int main(int argc, char** argv) {
     args.add_option("reps", "5", "independent repetitions to average");
     args.add_option("seed", "1", "master seed");
     args.add_threads_option();
+    args.add_scenario_option();
     args.add_adaptive_options();
     args.add_flag("csv", "also emit CSV rows (rank, mean B_x, landmark)");
     if (!args.parse(argc, argv)) {
         return 0;
     }
-    const auto n = static_cast<std::uint64_t>(args.get_int("n"));
-    const auto k = static_cast<std::uint64_t>(args.get_int("k"));
-    const auto d = static_cast<std::uint64_t>(args.get_int("d"));
     const auto reps = static_cast<std::uint32_t>(args.get_int("reps"));
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+
+    kdc::core::scenario base;
+    base.n = static_cast<std::uint64_t>(args.get_int("n"));
+    base.k = static_cast<std::uint64_t>(args.get_int("k"));
+    base.d = static_cast<std::uint64_t>(args.get_int("d"));
+    base.kernel = kdc::core::kernel_choice::per_bin; // legacy default
+    const auto merged = kdc::core::scenario_from_cli(args, base);
+    const auto n = merged.n;
+    const auto k = merged.k;
+    const auto d = merged.d;
 
     const double dk = kdc::theory::dk_ratio(k, d);
     const auto beta0 = static_cast<std::uint64_t>(
@@ -77,31 +111,43 @@ int main(int argc, char** argv) {
     std::sort(ranks.begin(), ranks.end());
     ranks.erase(std::unique(ranks.begin(), ranks.end()), ranks.end());
 
-    const auto balls = n - (n % k);
+    const auto balls = kdc::core::resolved_balls(merged);
     const std::array<std::uint32_t, 1> reps_per_cell{reps};
     auto& pool = kdc::core::persistent_pool(args.get_threads());
     const auto grid = kdc::core::run_engine_grid<rep_profile>(
         pool, reps_per_cell,
-        [&ranks, n, k, d, seed, balls, beta0](std::size_t,
+        [&ranks, &merged, seed, balls, beta0](std::size_t,
                                               std::uint32_t rep) {
-            kdc::core::kd_choice_process process(
-                n, k, d, kdc::rng::derive_seed(seed, rep));
+            auto process = kdc::core::make_process(
+                merged, kdc::rng::derive_seed(seed, rep));
             process.run_balls(balls);
-            const auto sorted =
-                kdc::core::sorted_loads_desc(process.loads());
+            const auto sorted = process.sorted_loads();
             rep_profile profile;
             profile.at_ranks.reserve(ranks.size());
             for (const auto rank : ranks) {
-                profile.at_ranks.push_back(
-                    static_cast<double>(sorted[rank - 1]));
+                profile.at_ranks.push_back(sorted[rank - 1]);
             }
-            profile.b1 = static_cast<double>(sorted.front());
-            profile.b_beta0 = static_cast<double>(sorted[beta0 - 1]);
-            profile.nu = kdc::core::nu_profile(process.loads());
+            profile.b1 = sorted.front();
+            profile.b_beta0 = sorted[beta0 - 1];
+            profile.nu = nu_from_sorted(sorted);
+            const auto obs = process.observe();
+            profile.gap = obs.gap;
+            profile.messages = static_cast<double>(obs.messages);
             return profile;
         },
-        // Adaptive mode monitors the max load B_1 of each repetition.
-        [](const rep_profile& profile) { return profile.b1; },
+        // Adaptive mode monitors the scenario's metric per repetition
+        // (default: the max load B_1).
+        [metric = merged.metric](std::size_t, const rep_profile& profile) {
+            switch (metric) {
+            case kdc::core::metric_kind::gap:
+                return profile.gap;
+            case kdc::core::metric_kind::messages:
+                return profile.messages;
+            case kdc::core::metric_kind::max_load:
+                break;
+            }
+            return profile.b1;
+        },
         kdc::core::stopping_rule_from_cli(args));
 
     // Fold in repetition order (grid[0] is rep-ordered by construction).

@@ -12,11 +12,16 @@
 // share one column declaration (support/row_emitter.hpp).
 //
 //   ./majorization_chain [--n=65536] [--reps=30] [--seed=7] [--threads=0]
-//                        [--csv]
+//                        [--csv] [--scenario "kd:n=...,kernel=auto"]
+//
+// Every process in the chain is a declarative scenario
+// (core/scenario.hpp); --scenario overrides the legacy flags key by key
+// (byte-identical for equivalent settings).
 #include <iostream>
 #include <vector>
 
 #include "core/coupling.hpp"
+#include "core/scenario.hpp"
 #include "core/sweep.hpp"
 #include "stats/hypothesis.hpp"
 #include "support/cli.hpp"
@@ -50,14 +55,20 @@ int main(int argc, char** argv) {
     args.add_option("reps", "30", "repetitions per process");
     args.add_option("seed", "7", "master seed");
     args.add_threads_option();
+    args.add_scenario_option();
     args.add_flag("csv",
                   "also emit CSV rows (property, configs, means, dominance)");
     if (!args.parse(argc, argv)) {
         return 0;
     }
-    const auto n = static_cast<std::uint64_t>(args.get_int("n"));
     const auto reps = static_cast<std::uint32_t>(args.get_int("reps"));
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+
+    kdc::core::scenario base;
+    base.n = static_cast<std::uint64_t>(args.get_int("n"));
+    base.kernel = kdc::core::kernel_choice::per_bin; // legacy default
+    const auto merged = kdc::core::scenario_from_cli(args, base);
+    const auto n = merged.n;
 
     struct pair {
         const char* property;
@@ -84,13 +95,13 @@ int main(int argc, char** argv) {
     auto add_process = [&](std::uint64_t k, std::uint64_t d,
                            std::uint64_t multiplier) {
         ++pair_seed;
-        cells.push_back(kdc::core::make_sweep_cell(
-            "(" + std::to_string(k) + "," + std::to_string(d) + ")",
+        auto sc = merged;
+        sc.k = k;
+        sc.d = d;
+        cells.push_back(kdc::core::make_scenario_cell(
+            "(" + std::to_string(k) + "," + std::to_string(d) + ")", sc,
             {.balls = n - (n % k), .reps = reps,
-             .seed = pair_seed * multiplier},
-            [n, k, d](std::uint64_t s) {
-                return kdc::core::kd_choice_process(n, k, d, s);
-            }));
+             .seed = pair_seed * multiplier}));
     };
     for (const auto& p : pairs) {
         add_process(p.kb, p.db, 131);

@@ -22,6 +22,13 @@
 //    --huge-n adds a level-kernel-only cell (the per-bin kernel cannot
 //    represent the state): --huge-n=1000000000 --huge-factor=10 is the
 //    billion-bin, m = 10n run — minutes of wall clock, kilobytes of state.
+//
+//  * --scenario: time ONE declarative scenario (core/scenario.hpp) through
+//    the same make_process factory the benches use — any policy, any
+//    kernel:
+//
+//      ./micro_throughput --scenario "kd:n=1e8,k=8,d=16,kernel=auto" \
+//                         [--balls-factor=1] [--repeat=3] [--seed=42]
 #include <chrono>
 #include <fstream>
 #include <iostream>
@@ -202,6 +209,55 @@ int json_main(int argc, char** argv) {
         std::cerr << "guard OK: level kernel >= perbin on all " << compared
                   << " cells with n >= 10^7\n";
     }
+    return 0;
+}
+
+// ---------------------------------------------------------------------------
+// --scenario mode: time one declarative scenario through make_process.
+// ---------------------------------------------------------------------------
+
+int scenario_main(int argc, char** argv) {
+    kdc::arg_parser args;
+    args.add_scenario_option();
+    args.add_option("balls-factor", "1",
+                    "balls = factor * the scenario's resolved ball count");
+    args.add_option("repeat", "3", "timed runs; the best is reported");
+    args.add_option("seed", "42", "seed for every timed run");
+    if (!args.parse(argc, argv)) {
+        return 0;
+    }
+    const auto sc = kdc::core::parse_scenario(args.get_string("scenario"));
+    const auto factor =
+        static_cast<std::uint64_t>(args.get_int("balls-factor"));
+    const auto repeat = static_cast<std::uint64_t>(args.get_int("repeat"));
+    const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+    const std::uint64_t balls = factor * kdc::core::resolved_balls(sc);
+    const auto kernel = kdc::core::resolve_kernel(sc);
+
+    double best_seconds = 0.0;
+    double final_max = 0.0;
+    for (std::uint64_t run = 0; run < std::max<std::uint64_t>(1, repeat);
+         ++run) {
+        auto process = kdc::core::make_process(sc, seed);
+        const auto start = std::chrono::steady_clock::now();
+        process.run_balls(balls);
+        const auto stop = std::chrono::steady_clock::now();
+        const double seconds =
+            std::chrono::duration<double>(stop - start).count();
+        if (run == 0 || seconds < best_seconds) {
+            best_seconds = seconds;
+        }
+        final_max = process.observe().max_load;
+    }
+    const double rate = best_seconds > 0.0
+                            ? static_cast<double>(balls) / best_seconds
+                            : 0.0;
+    std::cout << "scenario " << kdc::core::to_string(sc) << "\n"
+              << "kernel " << kdc::core::kernel_name(kernel) << ", "
+              << balls << " balls: "
+              << static_cast<std::uint64_t>(rate) << " balls/s (best of "
+              << std::max<std::uint64_t>(1, repeat) << ", max load "
+              << final_max << ")\n";
     return 0;
 }
 
@@ -441,11 +497,17 @@ BENCHMARK(bm_sorted_loads);
 } // namespace
 
 int main(int argc, char** argv) {
-    // `--json` switches to the self-contained kernel-comparison harness;
-    // everything else is google-benchmark's usual CLI.
+    // `--json` switches to the self-contained kernel-comparison harness,
+    // `--scenario` to the single-scenario timer; everything else is
+    // google-benchmark's usual CLI.
     for (int i = 1; i < argc; ++i) {
         if (std::string(argv[i]) == "--json") {
             return json_main(argc, argv);
+        }
+    }
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]).rfind("--scenario", 0) == 0) {
+            return scenario_main(argc, argv);
         }
     }
     benchmark::Initialize(&argc, argv);

@@ -18,8 +18,13 @@
 //
 //   ./open_question_heavy [--n=16384] [--reps=5] [--seed=12] [--threads=0]
 //                         [--max-factor=64] [--csv] [--kernel=perbin|level]
+//                         [--scenario "kd:n=...,kernel=auto"]
 //                         [--adaptive --ci-width=0.4 --min-reps=3
 //                          --max-reps=40]
+//
+// Cells are declarative scenarios (core/scenario.hpp); --scenario
+// overrides the legacy flags key by key, byte-identically for equivalent
+// settings.
 #include <cstdint>
 #include <iostream>
 #include <string>
@@ -38,17 +43,24 @@ int main(int argc, char** argv) {
                     "largest m/n load factor (x4 steps from 1)");
     args.add_threads_option();
     args.add_kernel_option();
+    args.add_scenario_option();
     args.add_adaptive_options();
     args.add_flag("csv", "also emit CSV rows (m/n, config, gap mean)");
     if (!args.parse(argc, argv)) {
         return 0;
     }
-    const auto n = static_cast<std::uint64_t>(args.get_int("n"));
     const auto reps = static_cast<std::uint32_t>(args.get_int("reps"));
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
     const auto max_factor =
         static_cast<std::uint64_t>(args.get_int("max-factor"));
-    const auto kernel = kdc::core::kernel_from_cli(args);
+
+    kdc::core::scenario base;
+    base.n = static_cast<std::uint64_t>(args.get_int("n"));
+    base.kernel =
+        kdc::core::to_kernel_choice(kdc::core::kernel_from_cli(args));
+    const auto merged = kdc::core::scenario_from_cli(args, base);
+    const auto n = merged.n;
+    const auto kernel = kdc::core::resolve_kernel(merged);
 
     struct config {
         const char* label;
@@ -73,16 +85,20 @@ int main(int argc, char** argv) {
             ++point_seed;
             const std::string name =
                 std::string(cfg.label) + " m/n=" + std::to_string(factor);
+            auto cell_sc = merged;
             if (cfg.k == 0) {
-                cells.push_back(kdc::core::make_single_choice_sweep_cell(
-                    name, n, {.balls = m, .reps = reps, .seed = point_seed},
-                    kernel));
+                cell_sc.family = "single";
+                cell_sc.probe = kdc::core::probe_policy::uniform;
+                cells.push_back(kdc::core::make_scenario_cell(
+                    name, cell_sc,
+                    {.balls = m, .reps = reps, .seed = point_seed}));
             } else {
-                cells.push_back(kdc::core::make_kd_sweep_cell(
-                    name, n, cfg.k, cfg.d,
+                cell_sc.k = cfg.k;
+                cell_sc.d = cfg.d;
+                cells.push_back(kdc::core::make_scenario_cell(
+                    name, cell_sc,
                     {.balls = m - (m % cfg.k), .reps = reps,
-                     .seed = point_seed},
-                    kernel));
+                     .seed = point_seed}));
             }
         }
     }

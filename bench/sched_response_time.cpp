@@ -8,9 +8,15 @@
 //       at 1/k the message cost.
 //
 //   ./sched_response_time [--workers=256] [--jobs=20000] [--k=4] [--seed=9]
+//                         [--scenario "kd:n=256,k=4"]
+//
+// --scenario (core/scenario.hpp) maps onto the cluster: n = workers,
+// k = tasks per job — equivalent settings print byte-identical output to
+// the legacy flags.
 #include <iostream>
 #include <vector>
 
+#include "core/scenario.hpp"
 #include "sched/scheduler.hpp"
 #include "support/cli.hpp"
 #include "support/text_table.hpp"
@@ -43,13 +49,22 @@ int main(int argc, char** argv) {
     args.add_option("jobs", "20000", "jobs per run");
     args.add_option("k", "4", "tasks per job");
     args.add_option("seed", "9", "master seed");
+    args.add_scenario_option();
     if (!args.parse(argc, argv)) {
         return 0;
     }
-    const auto workers = static_cast<std::uint64_t>(args.get_int("workers"));
     const auto jobs = static_cast<std::uint64_t>(args.get_int("jobs"));
-    const auto k = static_cast<std::uint64_t>(args.get_int("k"));
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+
+    // Scenario mapping: n = workers, k = tasks per job. The probe budgets
+    // below derive from k exactly as the paper's Section 1.3 comparison.
+    kdc::core::scenario base;
+    base.n = static_cast<std::uint64_t>(args.get_int("workers"));
+    base.k = static_cast<std::uint64_t>(args.get_int("k"));
+    base.d = 2 * base.k;
+    const auto merged = kdc::core::scenario_from_cli(args, base);
+    const auto workers = merged.n;
+    const auto k = merged.k;
 
     const std::vector<double> utilizations{0.3, 0.5, 0.7, 0.85};
 

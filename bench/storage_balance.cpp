@@ -8,10 +8,16 @@
 //   * availability: replication vs chunking under server failures.
 //
 //   ./storage_balance [--servers=4096] [--files=100000] [--k=3] [--seed=10]
+//                     [--scenario "kd:n=4096,k=3"]
+//
+// --scenario (core/scenario.hpp) maps onto the cluster: n = servers,
+// k = replicas per file — equivalent settings print byte-identical output
+// to the legacy flags.
 #include <iostream>
 #include <vector>
 
 #include "core/metrics.hpp"
+#include "core/scenario.hpp"
 #include "storage/cluster.hpp"
 #include "support/cli.hpp"
 #include "support/text_table.hpp"
@@ -23,14 +29,22 @@ int main(int argc, char** argv) {
     args.add_option("k", "3", "replicas (or chunks) per file");
     args.add_option("fail", "0.05", "per-server failure probability");
     args.add_option("seed", "10", "master seed");
+    args.add_scenario_option();
     if (!args.parse(argc, argv)) {
         return 0;
     }
-    const auto servers = static_cast<std::uint64_t>(args.get_int("servers"));
     const auto files = static_cast<std::uint64_t>(args.get_int("files"));
-    const auto k = static_cast<std::uint64_t>(args.get_int("k"));
     const double fail = args.get_double("fail");
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+
+    // Scenario mapping: n = servers, k = replicas per file.
+    kdc::core::scenario base;
+    base.n = static_cast<std::uint64_t>(args.get_int("servers"));
+    base.k = static_cast<std::uint64_t>(args.get_int("k"));
+    base.d = base.k + 1;
+    const auto merged = kdc::core::scenario_from_cli(args, base);
+    const auto servers = merged.n;
+    const auto k = merged.k;
 
     using kdc::storage::placement_policy;
 

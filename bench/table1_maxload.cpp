@@ -14,12 +14,19 @@
 //
 //   ./table1_maxload [--n=196608] [--reps=10] [--seed=1] [--threads=0]
 //                    [--csv] [--progress] [--kernel=perbin|level]
+//                    [--scenario "kd:n=...,kernel=auto,metric=gap"]
 //                    [--adaptive --ci-width=0.4 --min-reps=3 --max-reps=40]
 //
-// --kernel=level runs every cell on the level-compressed kernel
+// Every cell is a declarative scenario (core/scenario.hpp): the grid
+// stamps k and d onto one merged base scenario, and `--scenario` overrides
+// the legacy flags key by key (--n, --kernel are thin aliases for its n
+// and kernel keys — equivalent settings produce byte-identical output).
+//
+// kernel=level runs every cell on the level-compressed kernel
 // (O(max-load) state, core/level_process.hpp): distributionally identical
 // numbers from a different RNG stream — the switch for n far beyond the
-// per-bin kernel's memory reach.
+// per-bin kernel's memory reach. kernel=auto picks it whenever the policy
+// supports it.
 //
 // --adaptive switches the engine's stopping rule to confidence_width: each
 // cell runs repetitions until the 95% Student-t CI half-width of its mean
@@ -53,16 +60,25 @@ int main(int argc, char** argv) {
     args.add_option("seed", "1", "master seed");
     args.add_threads_option();
     args.add_kernel_option();
+    args.add_scenario_option();
     args.add_adaptive_options();
     args.add_flag("csv", "also emit CSV rows (k, d, max-load set, mean)");
     args.add_flag("progress", "report sweep progress on stderr");
     if (!args.parse(argc, argv)) {
         return 0;
     }
-    const auto n = static_cast<std::uint64_t>(args.get_int("n"));
     const auto reps = static_cast<std::uint32_t>(args.get_int("reps"));
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
-    const auto kernel = kdc::core::kernel_from_cli(args);
+
+    // Legacy flags become the base scenario; --scenario overrides it key by
+    // key. All knobs below come from the merged value.
+    kdc::core::scenario base;
+    base.n = static_cast<std::uint64_t>(args.get_int("n"));
+    base.kernel =
+        kdc::core::to_kernel_choice(kdc::core::kernel_from_cli(args));
+    const auto merged = kdc::core::scenario_from_cli(args, base);
+    const auto n = merged.n;
+    const auto kernel = kdc::core::resolve_kernel(merged);
 
     // One cell per valid grid entry, seeded exactly as the original nested
     // loop did (the counter also advances over invalid '-' cells).
@@ -74,22 +90,18 @@ int main(int argc, char** argv) {
             ++cell_seed;
             const std::string name =
                 "k=" + std::to_string(k) + ",d=" + std::to_string(d);
-            if (k >= d) {
+            if (k >= d && !(d == 1 && k == 1)) {
                 // d = 1, k = 1 is the single-choice column; everything else
                 // with k >= d is undefined for (k,d)-choice.
-                if (d == 1 && k == 1) {
-                    cells.push_back(kdc::core::make_single_choice_sweep_cell(
-                        name, n, {.balls = n, .reps = reps, .seed = cell_seed},
-                        kernel));
-                    meta.push_back({k, d});
-                }
                 continue;
             }
-            cells.push_back(kdc::core::make_kd_sweep_cell(
-                name, n, k, d,
-                {.balls = kdc::core::whole_rounds_balls(n, k), .reps = reps,
-                 .seed = cell_seed},
-                kernel));
+            auto cell_sc = merged;
+            cell_sc.k = k;
+            cell_sc.d = d; // d = 1 degenerates to single choice in "kd"
+            cells.push_back(kdc::core::make_scenario_cell(
+                name, cell_sc,
+                {.balls = kdc::core::resolved_balls(cell_sc), .reps = reps,
+                 .seed = cell_seed}));
             meta.push_back({k, d});
         }
     }

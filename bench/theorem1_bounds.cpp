@@ -8,11 +8,16 @@
 // small additive constant, and the *growth* in n follows the first term
 // (dk fixed) — i.e. the measured-minus-bound residual stays flat as n grows.
 //
-//   ./theorem1_bounds [--reps=5] [--seed=3]
+//   ./theorem1_bounds [--reps=5] [--seed=3] [--scenario "kd:kernel=level"]
+//
+// Each (k,d,n) point runs as a declarative scenario
+// (core/scenario.hpp); --scenario sets the shared knobs (e.g. the
+// simulation kernel) while the sweep stamps k, d and n per point.
 #include <iostream>
 #include <vector>
 
 #include "core/runner.hpp"
+#include "core/scenario.hpp"
 #include "support/cli.hpp"
 #include "support/text_table.hpp"
 #include "theory/bounds.hpp"
@@ -21,11 +26,16 @@ int main(int argc, char** argv) {
     kdc::arg_parser args;
     args.add_option("reps", "5", "repetitions per point");
     args.add_option("seed", "3", "master seed");
+    args.add_scenario_option();
     if (!args.parse(argc, argv)) {
         return 0;
     }
     const auto reps = static_cast<std::uint32_t>(args.get_int("reps"));
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+
+    kdc::core::scenario base;
+    base.kernel = kdc::core::kernel_choice::per_bin; // legacy default
+    const auto merged = kdc::core::scenario_from_cli(args, base);
 
     struct config {
         std::uint64_t k, d;
@@ -48,9 +58,12 @@ int main(int argc, char** argv) {
         for (const auto n : sizes) {
             ++point_seed;
             const auto balls = n - (n % cfg.k);
-            const auto result = kdc::core::run_kd_experiment(
-                n, cfg.k, cfg.d,
-                {.balls = balls, .reps = reps, .seed = point_seed});
+            auto sc = merged;
+            sc.n = n;
+            sc.k = cfg.k;
+            sc.d = cfg.d;
+            const auto result = kdc::core::run_scenario_experiment(
+                sc, {.balls = balls, .reps = reps, .seed = point_seed});
             const auto bound =
                 kdc::theory::theorem1_bound(n, cfg.k, cfg.d);
             const double measured = result.max_load_stats.mean();

@@ -18,7 +18,13 @@
 //
 //   ./theorem2_heavy [--n=65536] [--reps=5] [--seed=4] [--threads=0]
 //                    [--max-factor=32] [--csv] [--kernel=perbin|level]
+//                    [--scenario "kd:n=...,kernel=auto,metric=gap"]
 //                    [--adaptive --ci-width=0.4 --min-reps=3 --max-reps=40]
+//
+// Cells are declarative scenarios (core/scenario.hpp): the (k,d) process
+// is the "kd" family, the two majorization brackets are "dchoice", and
+// --scenario overrides the legacy flags key by key (byte-identical output
+// for equivalent settings).
 #include <cstdint>
 #include <iostream>
 #include <string>
@@ -52,17 +58,24 @@ int main(int argc, char** argv) {
                     "largest m/n load factor (doubling from 1)");
     args.add_threads_option();
     args.add_kernel_option();
+    args.add_scenario_option();
     args.add_adaptive_options();
     args.add_flag("csv", "also emit CSV rows (k, d, m/n, role, gap mean)");
     if (!args.parse(argc, argv)) {
         return 0;
     }
-    const auto n = static_cast<std::uint64_t>(args.get_int("n"));
     const auto reps = static_cast<std::uint32_t>(args.get_int("reps"));
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
     const auto max_factor =
         static_cast<std::uint64_t>(args.get_int("max-factor"));
-    const auto kernel = kdc::core::kernel_from_cli(args);
+
+    kdc::core::scenario base;
+    base.n = static_cast<std::uint64_t>(args.get_int("n"));
+    base.kernel =
+        kdc::core::to_kernel_choice(kdc::core::kernel_from_cli(args));
+    const auto merged = kdc::core::scenario_from_cli(args, base);
+    const auto n = merged.n;
+    const auto kernel = kdc::core::resolve_kernel(merged);
 
     const std::vector<config> configs{{2, 4}, {2, 6}, {4, 8}, {8, 16}};
     std::vector<std::uint64_t> load_factors;
@@ -83,19 +96,26 @@ int main(int argc, char** argv) {
             const std::string point = "(" + std::to_string(cfg.k) + "," +
                                       std::to_string(cfg.d) +
                                       ") m/n=" + std::to_string(factor);
-            cells.push_back(kdc::core::make_d_choice_sweep_cell(
-                point + " lo", n, cfg.d - cfg.k + 1,
-                {.balls = m, .reps = reps, .seed = point_seed + 7000},
-                kernel));
+            auto bracket = merged;
+            bracket.family = "dchoice";
+            bracket.probe = kdc::core::probe_policy::uniform;
+            bracket.k = 1;
+            bracket.d = cfg.d - cfg.k + 1;
+            cells.push_back(kdc::core::make_scenario_cell(
+                point + " lo", bracket,
+                {.balls = m, .reps = reps, .seed = point_seed + 7000}));
             meta.push_back({c, factor, "lo"});
-            cells.push_back(kdc::core::make_kd_sweep_cell(
-                point + " mid", n, cfg.k, cfg.d,
-                {.balls = m, .reps = reps, .seed = point_seed}, kernel));
+            auto mid = merged;
+            mid.k = cfg.k;
+            mid.d = cfg.d;
+            cells.push_back(kdc::core::make_scenario_cell(
+                point + " mid", mid,
+                {.balls = m, .reps = reps, .seed = point_seed}));
             meta.push_back({c, factor, "mid"});
-            cells.push_back(kdc::core::make_d_choice_sweep_cell(
-                point + " hi", n, cfg.d / cfg.k,
-                {.balls = m, .reps = reps, .seed = point_seed + 9000},
-                kernel));
+            bracket.d = cfg.d / cfg.k;
+            cells.push_back(kdc::core::make_scenario_cell(
+                point + " hi", bracket,
+                {.balls = m, .reps = reps, .seed = point_seed + 9000}));
             meta.push_back({c, factor, "hi"});
         }
     }

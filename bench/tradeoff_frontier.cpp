@@ -15,8 +15,16 @@
 // --threads value.
 //
 //   ./tradeoff_frontier [--n=196608] [--reps=10] [--seed=5] [--threads=0]
-//                       [--csv]
+//                       [--csv] [--scenario "kd:n=...,kernel=auto"]
 //                       [--adaptive --ci-width=0.4 --min-reps=3 --max-reps=40]
+//
+// Every scheme on the frontier is a declarative scenario
+// (core/scenario.hpp): single choice, d-choice, the (1+beta) mixture and
+// the adaptive threshold baseline are all policy-registry entries, so one
+// make_scenario_cell call constructs each of them. --scenario overrides
+// the legacy flags key by key (kernel=level/auto applies to every cell
+// whose policy has a level kernel; the threshold baseline is per-bin
+// only, so asking it for kernel=level is an error by design).
 #include <cmath>
 #include <iostream>
 #include <vector>
@@ -32,14 +40,20 @@ int main(int argc, char** argv) {
     args.add_option("reps", "10", "repetitions per scheme");
     args.add_option("seed", "5", "master seed");
     args.add_threads_option();
+    args.add_scenario_option();
     args.add_adaptive_options();
     args.add_flag("csv", "also emit CSV rows (scheme, msgs/ball, mean max)");
     if (!args.parse(argc, argv)) {
         return 0;
     }
-    const auto n = static_cast<std::uint64_t>(args.get_int("n"));
     const auto reps = static_cast<std::uint32_t>(args.get_int("reps"));
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+
+    kdc::core::scenario base;
+    base.n = static_cast<std::uint64_t>(args.get_int("n"));
+    base.kernel = kdc::core::kernel_choice::per_bin; // legacy default
+    const auto merged = kdc::core::scenario_from_cli(args, base);
+    const auto n = merged.n;
 
     const auto ln_n = static_cast<std::uint64_t>(
         std::log(static_cast<double>(n)));
@@ -47,31 +61,45 @@ int main(int argc, char** argv) {
     const std::uint64_t k_polylog = ln_n * ln_n; // ~146 at n = 3*2^16
 
     // Cell seeds replicate the original bench: scheme i used seed ^ i.
+    // Every scheme is one scenario stamped onto the merged base.
     std::vector<kdc::core::sweep_cell> cells;
-    auto add_experiment = [&](const std::string& name, auto&& factory,
-                              std::uint64_t balls) {
-        cells.push_back(kdc::core::make_sweep_cell(
-            name, {.balls = balls, .reps = reps, .seed = seed ^ cells.size()},
-            std::forward<decltype(factory)>(factory)));
+    auto add_scenario = [&](const std::string& name,
+                            const kdc::core::scenario& sc,
+                            std::uint64_t balls) {
+        cells.push_back(kdc::core::make_scenario_cell(
+            name, sc,
+            {.balls = balls, .reps = reps, .seed = seed ^ cells.size()}));
     };
 
-    add_experiment("single choice", [n](std::uint64_t s) {
-        return kdc::core::single_choice_process(n, s);
-    }, n);
-    add_experiment("(1+beta), beta=0.5", [n](std::uint64_t s) {
-        return kdc::core::one_plus_beta_process(n, 0.5, s);
-    }, n);
-    add_experiment("2-choice", [n](std::uint64_t s) {
-        return kdc::core::d_choice_process(n, 2, s);
-    }, n);
-    add_experiment("4-choice", [n](std::uint64_t s) {
-        return kdc::core::d_choice_process(n, 4, s);
-    }, n);
-    add_experiment("adaptive T=2 (Czumaj-Stemann flavor)",
-                   [n](std::uint64_t s) {
-                       return kdc::core::adaptive_threshold_process(n, 2, 16,
-                                                                    s);
-                   }, n);
+    {
+        auto sc = merged;
+        sc.family = "single";
+        sc.probe = kdc::core::probe_policy::uniform;
+        add_scenario("single choice", sc, n);
+    }
+    {
+        auto sc = merged;
+        sc.family = "kd";
+        sc.probe = kdc::core::probe_policy::one_plus_beta;
+        sc.beta = 0.5;
+        add_scenario("(1+beta), beta=0.5", sc, n);
+    }
+    for (const std::uint64_t d : {2, 4}) {
+        auto sc = merged;
+        sc.family = "dchoice";
+        sc.probe = kdc::core::probe_policy::uniform;
+        sc.k = 1;
+        sc.d = d;
+        add_scenario(std::to_string(d) + "-choice", sc, n);
+    }
+    {
+        auto sc = merged;
+        sc.family = "kd";
+        sc.probe = kdc::core::probe_policy::threshold;
+        sc.threshold = 2;
+        sc.cap = 16;
+        add_scenario("adaptive T=2 (Czumaj-Stemann flavor)", sc, n);
+    }
 
     struct kd_config {
         std::uint64_t k, d;
@@ -86,10 +114,12 @@ int main(int argc, char** argv) {
          "(k,k+ln n), k~8 ln^2 n: (1+o(1))n msgs"},
     };
     for (const auto& cfg : kd_configs) {
-        const auto balls = kdc::core::whole_rounds_balls(n, cfg.k);
-        add_experiment(cfg.note, [n, cfg](std::uint64_t s) {
-            return kdc::core::kd_choice_process(n, cfg.k, cfg.d, s);
-        }, balls);
+        auto sc = merged;
+        sc.family = "kd";
+        sc.probe = kdc::core::probe_policy::uniform;
+        sc.k = cfg.k;
+        sc.d = cfg.d;
+        add_scenario(cfg.note, sc, kdc::core::whole_rounds_balls(n, cfg.k));
     }
 
     kdc::core::sweep_options options;

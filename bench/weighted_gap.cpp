@@ -15,10 +15,21 @@
 // per-repetition weighted max load.
 //
 //   ./weighted_gap [--n=65536] [--rounds-factor=4] [--reps=5] [--threads=0]
-//                  [--csv] [--adaptive --ci-width=0.4 --max-reps=40]
+//                  [--csv] [--scenario "kd:n=...,kernel=level,metric=gap"]
+//                  [--adaptive --ci-width=0.4 --max-reps=40]
+//
+// --scenario (core/scenario.hpp) sets the shared knobs: n, the simulation
+// kernel (kernel=level runs every cell on the level-compressed
+// weighted_kd_level_process — the weighted process is exchangeable too,
+// so its weight-load multiset is lossless state) and the monitored metric
+// for --adaptive (metric=gap suits this bench; the default is the
+// weighted max load). The weight-distribution grid itself stays richer
+// than the scenario skew knob on purpose.
+#include <cstddef>
 #include <iostream>
 #include <vector>
 
+#include "core/scenario.hpp"
 #include "core/sweep.hpp"
 #include "core/weighted.hpp"
 #include "stats/running_stats.hpp"
@@ -31,6 +42,7 @@ namespace {
 struct rep_observation {
     double gap = 0.0;
     double max_load = 0.0;
+    std::uint64_t messages = 0;
 };
 
 } // namespace
@@ -43,16 +55,25 @@ int main(int argc, char** argv) {
     args.add_option("reps", "5", "repetitions per cell");
     args.add_option("seed", "11", "master seed");
     args.add_threads_option();
+    args.add_scenario_option();
     args.add_adaptive_options();
     args.add_flag("csv", "also emit CSV rows (weights, k, d, gap, max)");
     if (!args.parse(argc, argv)) {
         return 0;
     }
-    const auto n = static_cast<std::uint64_t>(args.get_int("n"));
     const auto factor =
         static_cast<std::uint64_t>(args.get_int("rounds-factor"));
     const auto reps = static_cast<std::uint32_t>(args.get_int("reps"));
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+
+    kdc::core::scenario base;
+    base.n = static_cast<std::uint64_t>(args.get_int("n"));
+    base.probe = kdc::core::probe_policy::weighted;
+    base.kernel = kdc::core::kernel_choice::per_bin; // legacy default
+    const auto merged = kdc::core::scenario_from_cli(args, base);
+    const auto n = merged.n;
+    const auto kernel = kdc::core::resolve_kernel(merged);
+    const auto metric = merged.metric;
 
     struct weight_case {
         const char* name;
@@ -101,17 +122,37 @@ int main(int argc, char** argv) {
     auto& pool = kdc::core::persistent_pool(args.get_threads());
     const auto grid = kdc::core::run_engine_grid<rep_observation>(
         pool, reps_per_cell,
-        [&grid_cells, n, factor](std::size_t c, std::uint32_t rep) {
+        [&grid_cells, n, factor, kernel](std::size_t c, std::uint32_t rep) {
             const auto& cell = grid_cells[c];
+            const auto rep_seed =
+                kdc::rng::derive_seed(cell.rep_masters[rep], rep);
+            const auto rounds = factor * n / cell.kd.k;
+            if (kernel == kdc::core::kernel_kind::level) {
+                kdc::core::weighted_kd_level_process process(
+                    n, cell.kd.k, cell.kd.d, rep_seed, cell.weights->dist);
+                process.run_rounds(rounds);
+                return rep_observation{process.gap(), process.max_load(),
+                                       process.messages()};
+            }
             kdc::core::weighted_kd_process process(
-                n, cell.kd.k, cell.kd.d,
-                kdc::rng::derive_seed(cell.rep_masters[rep], rep),
-                cell.weights->dist);
-            process.run_rounds(factor * n / cell.kd.k);
-            return rep_observation{process.gap(), process.max_load()};
+                n, cell.kd.k, cell.kd.d, rep_seed, cell.weights->dist);
+            process.run_rounds(rounds);
+            return rep_observation{process.gap(), process.max_load(),
+                                   process.messages()};
         },
-        // Adaptive mode monitors the weighted max load of each repetition.
-        [](const rep_observation& obs) { return obs.max_load; },
+        // Adaptive mode monitors the scenario's metric per repetition
+        // (default: the weighted max load).
+        [metric](std::size_t, const rep_observation& obs) {
+            switch (metric) {
+            case kdc::core::metric_kind::gap:
+                return obs.gap;
+            case kdc::core::metric_kind::messages:
+                return static_cast<double>(obs.messages);
+            case kdc::core::metric_kind::max_load:
+                break;
+            }
+            return obs.max_load;
+        },
         stopping);
 
     std::cout << "Weighted (k,d)-choice gap, n = " << n << ", "

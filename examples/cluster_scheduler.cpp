@@ -5,11 +5,15 @@
 // compares probing strategies at your chosen utilization:
 //
 //   $ ./cluster_scheduler --workers=128 --k=8 --util=0.7
+//   $ ./cluster_scheduler --scenario="kd:n=128,k=8,d=16" --util=0.7
 //
 // Strategies: random, per-task d-choice (Sparrow-style), (k,d)-choice
-// shared probing, and the Section 7 greedy variant.
+// shared probing, and the Section 7 greedy variant. The scenario string
+// (core/scenario.hpp) maps onto the cluster: n = workers, k = tasks per
+// job, d = probe pool per job.
 #include <iostream>
 
+#include "core/scenario.hpp"
 #include "sched/scheduler.hpp"
 #include "support/cli.hpp"
 #include "support/text_table.hpp"
@@ -22,15 +26,22 @@ int main(int argc, char** argv) {
     args.add_option("d", "16", "probe pool per job for batch strategies");
     args.add_option("util", "0.7", "target cluster utilization (0,1)");
     args.add_option("seed", "1", "simulation seed");
+    args.add_scenario_option();
     if (!args.parse(argc, argv)) {
         return 0;
     }
-    const auto workers = static_cast<std::uint64_t>(args.get_int("workers"));
     const auto jobs = static_cast<std::uint64_t>(args.get_int("jobs"));
-    const auto k = static_cast<std::uint64_t>(args.get_int("k"));
-    const auto d = static_cast<std::uint64_t>(args.get_int("d"));
     const double util = args.get_double("util");
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+
+    kdc::core::scenario sc;
+    sc.n = static_cast<std::uint64_t>(args.get_int("workers"));
+    sc.k = static_cast<std::uint64_t>(args.get_int("k"));
+    sc.d = static_cast<std::uint64_t>(args.get_int("d"));
+    const auto merged = kdc::core::scenario_from_cli(args, sc);
+    const auto workers = merged.n;
+    const auto k = merged.k;
+    const auto d = merged.d;
 
     using kdc::sched::probe_strategy;
 

@@ -3,13 +3,16 @@
 // servers — one (k,d)-choice round per file.
 //
 //   $ ./distributed_storage --servers=2048 --files=50000 --k=3
+//   $ ./distributed_storage --scenario="kd:n=2048,k=3" --files=50000
 //
 // Prints load balance, placement message cost, chunk-retrieval cost and a
 // failure-injection availability estimate, for (k,k+1)-choice vs per-replica
-// two-choice vs random placement.
+// two-choice vs random placement. The scenario string (core/scenario.hpp)
+// maps onto the cluster: n = servers, k = replicas per file.
 #include <iostream>
 
 #include "core/metrics.hpp"
+#include "core/scenario.hpp"
 #include "storage/cluster.hpp"
 #include "support/cli.hpp"
 #include "support/text_table.hpp"
@@ -21,14 +24,21 @@ int main(int argc, char** argv) {
     args.add_option("k", "3", "replicas (or chunks) per file");
     args.add_option("fail", "0.05", "per-server failure probability");
     args.add_option("seed", "1", "placement seed");
+    args.add_scenario_option();
     if (!args.parse(argc, argv)) {
         return 0;
     }
-    const auto servers = static_cast<std::uint64_t>(args.get_int("servers"));
     const auto files = static_cast<std::uint64_t>(args.get_int("files"));
-    const auto k = static_cast<std::uint64_t>(args.get_int("k"));
     const double fail = args.get_double("fail");
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+
+    kdc::core::scenario base;
+    base.n = static_cast<std::uint64_t>(args.get_int("servers"));
+    base.k = static_cast<std::uint64_t>(args.get_int("k"));
+    base.d = base.k + 1;
+    const auto merged = kdc::core::scenario_from_cli(args, base);
+    const auto servers = merged.n;
+    const auto k = merged.k;
 
     using kdc::storage::placement_policy;
 

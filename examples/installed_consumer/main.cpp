@@ -1,20 +1,29 @@
-// Smoke test for the installed kdchoice package: exercises one type from
-// each exported layer (process, execution engine, stats) through the same
-// include paths in-tree code uses, and exits non-zero on any surprise so CI
-// can gate on it.
+// Smoke test for the installed kdchoice package: exercises the umbrella
+// header (<kdchoice.hpp>) and one type from each exported layer — the
+// declarative scenario API, the execution engine, and stats — through the
+// same include paths a downstream project uses, and exits non-zero on any
+// surprise so CI can gate on it.
 #include <cstdio>
 
-#include "core/kdchoice.hpp"
-#include "stats/hypothesis.hpp"
+#include "kdchoice.hpp"
 
 int main() {
-    // One small adaptive sweep end-to-end on the installed library.
+    // The scenario API through the installed tree: parse, construct via
+    // the policy registry, run on the auto-resolved kernel.
+    const auto sc =
+        kdc::core::parse_scenario("kd:n=256,k=2,d=4,kernel=auto");
+    auto process = kdc::core::make_process(sc, /*seed=*/7);
+    process.run_balls(kdc::core::resolved_balls(sc));
+    if (process.observe().max_load < 1.0) {
+        std::puts("FAIL: scenario run placed no balls");
+        return 1;
+    }
+
+    // One small adaptive sweep end-to-end on the installed library, with
+    // cells built from scenarios.
     std::vector<kdc::core::sweep_cell> cells;
-    cells.push_back(kdc::core::make_sweep_cell(
-        "kd(2,4)", {.balls = 256, .reps = 8, .seed = 42},
-        [](std::uint64_t seed) {
-            return kdc::core::kd_choice_process(256, 2, 4, seed);
-        }));
+    cells.push_back(kdc::core::make_scenario_cell(
+        "kd(2,4)", sc, {.balls = 256, .reps = 8, .seed = 42}));
     kdc::core::sweep_options options;
     options.threads = 2;
     options.stopping = kdc::core::confidence_width_rule(
@@ -26,8 +35,9 @@ int main() {
     }
     const double width =
         kdc::stats::t_ci_half_width(outcomes[0].result.max_load_stats, 0.95);
-    std::printf("installed kdchoice OK: %zu reps, max-load CI half-width "
-                "%.3f\n",
+    std::printf("installed kdchoice OK: scenario '%s', %zu reps, max-load "
+                "CI half-width %.3f\n",
+                kdc::core::to_string(sc).c_str(),
                 outcomes[0].result.reps.size(), width);
     return 0;
 }

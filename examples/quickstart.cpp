@@ -2,9 +2,10 @@
 //
 //   $ ./quickstart
 //
-// Covers: running a (k,d)-choice process, reading metrics, comparing with
-// the classic baselines, multi-repetition experiments, and the theory
-// oracle's predictions.
+// Covers: the declarative scenario API (one string, one factory, any
+// policy and kernel), reading metrics, multi-repetition experiments,
+// comparing with the classic baselines, and the theory oracle's
+// predictions.
 #include <iostream>
 
 #include "core/kdchoice.hpp"
@@ -12,57 +13,64 @@
 #include "theory/bounds.hpp"
 
 int main() {
-    constexpr std::uint64_t n = 1 << 16; // bins == balls
-    constexpr std::uint64_t k = 8;       // balls placed per round
-    constexpr std::uint64_t d = 16;      // bins probed per round
     constexpr std::uint64_t seed = 2024;
 
-    // 1. Run one (k,d)-choice process: n/k rounds, k balls each.
-    kdc::core::kd_choice_process process(n, k, d, seed);
-    process.run_balls(n);
+    // 1. A scenario is ONE declarative value: the paper's (k,d)-choice
+    //    process at n = 2^16, with the simulation kernel left to the
+    //    library (kernel=auto picks the level-compressed kernel whenever
+    //    the policy supports it).
+    const auto sc = kdc::core::parse_scenario(
+        "kd:n=65536,k=8,d=16,kernel=auto");
+    const auto n = sc.n;
 
-    // 2. Inspect the final allocation.
-    const auto metrics = kdc::core::compute_load_metrics(process.loads());
-    std::cout << "(k,d)-choice with n=" << n << ", k=" << k << ", d=" << d
-              << "\n"
-              << "  max load   : " << metrics.max_load << "\n"
-              << "  mean load  : " << metrics.mean_load << "\n"
-              << "  empty bins : " << metrics.empty_bins << "\n"
-              << "  messages   : " << process.messages() << " ("
-              << kdc::format_fixed(static_cast<double>(process.messages()) /
+    // 2. make_process dispatches through the policy registry to the right
+    //    process and kernel; run and observe through one uniform handle.
+    auto process = kdc::core::make_process(sc, seed);
+    process.run_balls(kdc::core::resolved_balls(sc));
+    const auto obs = process.observe();
+    std::cout << "scenario " << kdc::core::to_string(sc) << "\n"
+              << "  kernel     : "
+              << kdc::core::kernel_name(kdc::core::resolve_kernel(sc)) << "\n"
+              << "  max load   : " << obs.max_load << "\n"
+              << "  empty bins : " << obs.empty_bins << "\n"
+              << "  messages   : " << obs.messages << " ("
+              << kdc::format_fixed(static_cast<double>(obs.messages) /
                                        static_cast<double>(n), 2)
               << " per ball)\n";
 
-    // 3. The paper's quantities: nu_y (bins with >= y balls) and the sorted
-    //    load vector B_x.
-    std::cout << "  nu_1=" << kdc::core::nu_y(process.loads(), 1)
-              << " nu_2=" << kdc::core::nu_y(process.loads(), 2)
-              << " nu_3=" << kdc::core::nu_y(process.loads(), 3) << "\n";
+    // 3. The paper's quantities from the sorted load vector B_x (lossless
+    //    on every kernel: bins are exchangeable).
+    const auto sorted = process.sorted_loads();
+    std::cout << "  B_1=" << sorted.front() << " B_n=" << sorted.back()
+              << "\n";
 
     // 4. What does the theory predict? Theorem 1's two terms.
-    const auto bound = kdc::theory::theorem1_bound(n, k, d);
+    const auto bound = kdc::theory::theorem1_bound(n, sc.k, sc.d);
     std::cout << "  Theorem 1 prediction: " << kdc::format_fixed(bound.first, 2)
               << " + " << kdc::format_fixed(bound.second, 2) << " + O(1)\n\n";
 
     // 5. Multi-repetition experiment (Table 1 cell style): 10 runs,
     //    independent seeds, aggregated.
-    const auto experiment = kdc::core::run_kd_experiment(
-        n, k, d, {.balls = n, .reps = 10, .seed = seed});
+    const auto experiment = kdc::core::run_scenario_experiment(
+        sc, {.balls = n, .reps = 10, .seed = seed});
     std::cout << "10-rep experiment: max loads seen = {"
               << experiment.max_load_set() << "}, mean "
               << kdc::format_fixed(experiment.max_load_stats.mean(), 2)
               << "\n\n";
 
-    // 6. Against the classics.
-    const auto single = kdc::core::run_single_choice_experiment(
-        n, {.balls = n, .reps = 10, .seed = seed + 1});
-    const auto two_choice = kdc::core::run_d_choice_experiment(
-        n, 2, {.balls = n, .reps = 10, .seed = seed + 2});
+    // 6. Against the classics — every baseline is a scenario too.
+    const auto single = kdc::core::run_scenario_experiment(
+        kdc::core::parse_scenario("single:n=65536"),
+        {.balls = n, .reps = 10, .seed = seed + 1});
+    const auto two_choice = kdc::core::run_scenario_experiment(
+        kdc::core::parse_scenario("dchoice:n=65536,k=1,d=2"),
+        {.balls = n, .reps = 10, .seed = seed + 2});
     std::cout << "baselines: single-choice max loads {"
               << single.max_load_set() << "}, two-choice {"
               << two_choice.max_load_set() << "}\n"
-              << "(k,d)-choice spends " << d << "/" << k << " = "
-              << kdc::format_fixed(static_cast<double>(d) / k, 2)
+              << "(k,d)-choice spends " << sc.d << "/" << sc.k << " = "
+              << kdc::format_fixed(static_cast<double>(sc.d) /
+                                       static_cast<double>(sc.k), 2)
               << " messages per ball vs 2.0 for two-choice.\n";
     return 0;
 }

@@ -5,10 +5,15 @@
 // d - k + 1 stays large).
 //
 //   $ ./tradeoff_explorer --n=65536 --budget=2 --reps=10
+//
+// Each k on the walk is a declarative scenario (core/scenario.hpp);
+// --scenario sets shared knobs like the kernel
+// (--scenario="kd:kernel=level" explores far larger n).
 #include <iostream>
 #include <vector>
 
 #include "core/runner.hpp"
+#include "core/scenario.hpp"
 #include "support/cli.hpp"
 #include "support/text_table.hpp"
 #include "theory/bounds.hpp"
@@ -19,13 +24,19 @@ int main(int argc, char** argv) {
     args.add_option("budget", "2", "message budget = d/k (integer >= 2)");
     args.add_option("reps", "10", "repetitions per configuration");
     args.add_option("seed", "1", "master seed");
+    args.add_scenario_option();
     if (!args.parse(argc, argv)) {
         return 0;
     }
-    const auto n = static_cast<std::uint64_t>(args.get_int("n"));
     const auto budget = static_cast<std::uint64_t>(args.get_int("budget"));
     const auto reps = static_cast<std::uint32_t>(args.get_int("reps"));
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+
+    kdc::core::scenario base;
+    base.n = static_cast<std::uint64_t>(args.get_int("n"));
+    base.kernel = kdc::core::kernel_choice::per_bin; // legacy default
+    const auto merged = kdc::core::scenario_from_cli(args, base);
+    const auto n = merged.n;
     if (budget < 2) {
         std::cerr << "budget must be >= 2 (d must exceed k)\n";
         return 1;
@@ -47,8 +58,11 @@ int main(int argc, char** argv) {
             continue;
         }
         const auto balls = n - (n % k);
-        const auto result = kdc::core::run_kd_experiment(
-            n, k, d, {.balls = balls, .reps = reps, .seed = ++cfg_seed});
+        auto sc = merged;
+        sc.k = k;
+        sc.d = d;
+        const auto result = kdc::core::run_scenario_experiment(
+            sc, {.balls = balls, .reps = reps, .seed = ++cfg_seed});
         const auto bound = kdc::theory::theorem1_bound(n, k, d);
         table.add_row({std::to_string(k), std::to_string(d),
                        kdc::format_fixed(result.max_load_stats.mean(), 2),

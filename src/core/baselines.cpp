@@ -34,6 +34,47 @@ void one_plus_beta_process::run_balls(std::uint64_t balls) {
     balls_placed_ += balls;
 }
 
+one_plus_beta_level_process::one_plus_beta_level_process(std::uint64_t n,
+                                                         double beta,
+                                                         std::uint64_t seed)
+    : profile_(n), beta_(beta), gen_(seed), probe_draws_(n) {
+    KD_EXPECTS(n >= 1);
+    KD_EXPECTS_MSG(beta >= 0.0 && beta <= 1.0, "beta must lie in [0, 1]");
+}
+
+void one_plus_beta_level_process::run_balls(std::uint64_t balls) {
+    for (std::uint64_t ball = 0; ball < balls; ++ball) {
+        profile_.ensure_levels(profile_.max_level() + 2);
+        const std::uint64_t l1 =
+            profile_.level_at_rank(probe_draws_.next(gen_));
+        ++messages_;
+        if (!rng::bernoulli(gen_, beta_)) {
+            profile_.move_bin(l1, l1 + 1);
+            continue;
+        }
+        ++messages_;
+        // Second probe, with replacement: extract the first bin, then one
+        // draw v in [0, n) decides duplicate (v == 0, probability exactly
+        // 1/n) vs a fresh bin among the remaining n - 1 (rank v - 1).
+        profile_.extract_bin(l1);
+        const std::uint64_t v = probe_draws_.next(gen_);
+        if (v == 0) {
+            profile_.insert_bin(l1 + 1); // both probes hit the same bin
+        } else {
+            const std::uint64_t l2 = profile_.level_at_rank(v - 1);
+            if (l2 < l1) {
+                profile_.move_bin(l2, l2 + 1);
+                profile_.insert_bin(l1);
+            } else {
+                // l1 <= l2: the first bin wins (on a tie either bin gives
+                // the same profile transition, so no coin is needed).
+                profile_.insert_bin(l1 + 1);
+            }
+        }
+    }
+    balls_placed_ += balls;
+}
+
 batched_greedy_process::batched_greedy_process(std::uint64_t n,
                                                std::uint64_t k,
                                                std::uint64_t d,

@@ -20,8 +20,10 @@
 #include <span>
 #include <vector>
 
+#include "core/level_profile.hpp"
 #include "core/round_kernel.hpp"
 #include "core/types.hpp"
+#include "rng/sampling.hpp"
 #include "rng/xoshiro256ss.hpp"
 #include "support/contracts.hpp"
 
@@ -48,6 +50,47 @@ private:
     std::uint64_t balls_placed_ = 0;
     std::uint64_t messages_ = 0;
     rng::xoshiro256ss gen_;
+};
+
+/// The (1+beta)-choice process on level-compressed state
+/// (core/level_profile.hpp). The process is exchangeable over bins — every
+/// probe is uniform and the rule depends only on loads — so the load
+/// profile captures its distribution exactly. Distributionally identical to
+/// one_plus_beta_process (different RNG stream); O(max-load) memory, which
+/// makes the (1+beta) mixture usable at the same billion-bin scales as the
+/// level (k,d) kernel.
+///
+/// The with-replacement subtlety: when the beta coin asks for a second
+/// probe, it hits the SAME bin as the first with probability exactly 1/n
+/// (one uniform draw v in [0, n) decides: v == 0 duplicates the first
+/// probe, else v - 1 indexes the remaining n - 1 bins). Equal-level ties
+/// need no coin here — moving either of two same-level bins up one level is
+/// the same profile transition.
+class one_plus_beta_level_process {
+public:
+    /// beta in [0, 1]: 0 degenerates to single-choice, 1 to two-choice.
+    one_plus_beta_level_process(std::uint64_t n, double beta,
+                                std::uint64_t seed);
+
+    void run_balls(std::uint64_t balls);
+
+    [[nodiscard]] const level_profile& profile() const noexcept {
+        return profile_;
+    }
+    [[nodiscard]] std::uint64_t balls_placed() const noexcept {
+        return balls_placed_;
+    }
+    [[nodiscard]] std::uint64_t messages() const noexcept { return messages_; }
+    [[nodiscard]] std::uint64_t n() const noexcept { return profile_.n(); }
+    [[nodiscard]] double beta() const noexcept { return beta_; }
+
+private:
+    level_profile profile_;
+    double beta_;
+    std::uint64_t balls_placed_ = 0;
+    std::uint64_t messages_ = 0;
+    rng::xoshiro256ss gen_;
+    rng::batched_uniform probe_draws_;
 };
 
 class batched_greedy_process {

@@ -30,13 +30,29 @@ stopping_rule confidence_width_rule(double ci_half_width,
     return rule;
 }
 
+stopping_rule relative_width_rule(double ci_rel, std::uint32_t min_reps,
+                                  std::uint32_t max_reps, double confidence) {
+    stopping_rule rule;
+    rule.mode = stopping_mode::confidence_width;
+    rule.ci_rel = ci_rel;
+    rule.confidence = confidence;
+    rule.min_reps = min_reps;
+    rule.max_reps = max_reps;
+    validate_stopping_rule(rule);
+    return rule;
+}
+
 void validate_stopping_rule(const stopping_rule& rule) {
     if (rule.mode == stopping_mode::fixed_reps) {
         return; // all other fields are ignored
     }
-    KD_EXPECTS_MSG(std::isfinite(rule.ci_half_width) &&
-                       rule.ci_half_width > 0.0,
-                   "confidence_width needs a positive finite CI half-width");
+    const bool absolute =
+        std::isfinite(rule.ci_half_width) && rule.ci_half_width > 0.0;
+    const bool relative = std::isfinite(rule.ci_rel) && rule.ci_rel > 0.0;
+    KD_EXPECTS_MSG(absolute != relative,
+                   "confidence_width needs exactly one width target: a "
+                   "positive finite ci_half_width or a positive finite "
+                   "ci_rel (mean-scaled)");
     KD_EXPECTS_MSG(rule.confidence > 0.0 && rule.confidence < 1.0,
                    "confidence level must lie strictly between 0 and 1");
     KD_EXPECTS_MSG(rule.min_reps == 0 || rule.min_reps >= 2,
@@ -75,8 +91,13 @@ bool confidence_reached(const stats::running_stats& monitor,
     if (monitor.count() < 2) {
         return false; // no variance estimate yet
     }
-    return stats::t_ci_half_width(monitor, rule.confidence) <=
-           rule.ci_half_width;
+    // Under a relative rule the target shrinks/grows with the monitored
+    // mean itself, re-evaluated at every chunk boundary. A zero mean makes
+    // the relative target unreachable unless the spread is zero too.
+    const double target = rule.ci_rel > 0.0
+                              ? rule.ci_rel * std::abs(monitor.mean())
+                              : rule.ci_half_width;
+    return stats::t_ci_half_width(monitor, rule.confidence) <= target;
 }
 
 stopping_rule stopping_rule_from_cli(const arg_parser& args) {
@@ -85,7 +106,19 @@ stopping_rule stopping_rule_from_cli(const arg_parser& args) {
     }
     stopping_rule rule;
     rule.mode = stopping_mode::confidence_width;
-    rule.ci_half_width = args.get_positive_double("ci-width");
+    // --ci-rel switches the target from an absolute half-width to a
+    // mean-scaled one; the two are mutually exclusive when both are spelled
+    // out explicitly.
+    if (args.has_value("ci-rel")) {
+        if (args.has_value("ci-width")) {
+            throw cli_error("options --ci-width and --ci-rel are mutually "
+                            "exclusive: pick an absolute or a mean-scaled "
+                            "CI width target");
+        }
+        rule.ci_rel = args.get_positive_double("ci-rel");
+    } else {
+        rule.ci_half_width = args.get_positive_double("ci-width");
+    }
 
     const std::int64_t min_reps = args.get_int("min-reps");
     if (min_reps < 2 || min_reps > 1'000'000'000) {

@@ -68,8 +68,14 @@ enum class stopping_mode {
 struct stopping_rule {
     stopping_mode mode = stopping_mode::fixed_reps;
     /// confidence_width: stop once the Student-t CI half-width of the
-    /// monitored statistic's mean is <= this. Must be positive and finite.
+    /// monitored statistic's mean is <= this. Must be positive and finite
+    /// (unless ci_rel carries the target instead).
     double ci_half_width = 0.0;
+    /// Relative (mean-scaled) alternative to ci_half_width: when > 0 the
+    /// target half-width is ci_rel * |mean of the monitored statistic|,
+    /// re-evaluated at every chunk boundary. Exactly one of ci_half_width
+    /// and ci_rel must be set under confidence_width.
+    double ci_rel = 0.0;
     /// Confidence level of that interval (two-sided), in (0, 1).
     double confidence = 0.95;
     std::uint32_t min_reps = 0;   ///< floor before any stop decision (>= 2)
@@ -82,6 +88,11 @@ struct stopping_rule {
 [[nodiscard]] stopping_rule
 confidence_width_rule(double ci_half_width, std::uint32_t min_reps = 0,
                       std::uint32_t max_reps = 0, double confidence = 0.95);
+/// The mean-scaled variant: stop once the CI half-width is <= ci_rel times
+/// the monitored mean's magnitude.
+[[nodiscard]] stopping_rule
+relative_width_rule(double ci_rel, std::uint32_t min_reps = 0,
+                    std::uint32_t max_reps = 0, double confidence = 0.95);
 
 /// Validates rule invariants (positive finite width, confidence in (0,1),
 /// min <= max where both are given); throws contract_violation otherwise.
@@ -157,11 +168,14 @@ struct cell_control {
 ///
 /// `run(cell, rep)` must be callable concurrently from many threads and is
 /// invoked at most once per pair; the placement of results is by index, so
-/// folding grid[c] in rep order afterwards is deterministic. `metric(T)`
-/// maps one repetition's payload to the double the confidence_width rule
-/// monitors; it is only invoked (in repetition order, at chunk boundaries)
-/// under that rule, and must be const-callable concurrently — distinct
-/// cells fold their chunks independently. Rethrows the first exception any
+/// folding grid[c] in rep order afterwards is deterministic.
+/// `metric(cell, T)` maps one repetition's payload to the double the
+/// confidence_width rule monitors — the cell index lets callers monitor a
+/// different statistic per cell (core/sweep.hpp dispatches on each cell's
+/// metric_kind); it is only invoked (in repetition order, at chunk
+/// boundaries) under that rule, and must be const-callable concurrently —
+/// distinct cells fold their chunks independently. Rethrows the first
+/// exception any
 /// job, metric or
 /// progress hook threw — scheduled jobs still run to completion (no new
 /// chunks start) so the pool is quiescent on return.
@@ -226,7 +240,7 @@ run_engine_grid(thread_pool& pool,
             // chunk allocation is captured like a failing repetition.
             try {
                 for (std::uint32_t r = cell.folded; r < cell.scheduled; ++r) {
-                    cell.monitor.push(metric(std::as_const(grid[c][r])));
+                    cell.monitor.push(metric(c, std::as_const(grid[c][r])));
                 }
                 cell.folded = cell.scheduled;
                 if (cell.scheduled >= plan.max_reps ||

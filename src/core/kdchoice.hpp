@@ -19,6 +19,7 @@
 #include "core/process.hpp"     // kd_choice_process + classic baselines
 #include "core/round_kernel.hpp" // one-round primitive (advanced use)
 #include "core/runner.hpp"      // multi-repetition experiments
+#include "core/scenario.hpp"    // declarative scenarios: registry + factory
 #include "core/serialized.hpp"  // Definition 1 serialization
 #include "core/sweep.hpp"       // cross-cell grid sweeps on a shared pool
 #include "core/threshold.hpp"   // Definition 3 SA_{x0}

@@ -1,6 +1,10 @@
 #include "core/level_profile.hpp"
 
 #include <algorithm>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
 
 namespace kdc::core {
 
@@ -84,6 +88,97 @@ load_vector level_profile::to_sorted_loads() const {
                      static_cast<bin_load>(level));
     }
     return loads;
+}
+
+namespace {
+
+/// Magic line of the snapshot format; the trailing integer is the version.
+constexpr const char* snapshot_magic = "kdc-level-profile";
+constexpr int snapshot_version = 1;
+
+} // namespace
+
+void level_profile::save(std::ostream& out) const {
+    KD_EXPECTS_MSG(remaining_bins() == n_,
+                   "cannot snapshot a profile with extracted bins mid-round");
+    out << snapshot_magic << ' ' << snapshot_version << '\n';
+    out << n_ << ' ' << (max_level_ + 1) << '\n';
+    for (std::uint64_t level = 0; level <= max_level_; ++level) {
+        out << counts_[level] << (level == max_level_ ? '\n' : ' ');
+    }
+    if (!out) {
+        throw std::runtime_error("level_profile snapshot write failed");
+    }
+}
+
+level_profile level_profile::load(std::istream& in) {
+    std::string magic;
+    int version = 0;
+    if (!(in >> magic >> version)) {
+        throw std::runtime_error(
+            "level_profile snapshot: missing header (expected '" +
+            std::string(snapshot_magic) + " <version>')");
+    }
+    if (magic != snapshot_magic) {
+        throw std::runtime_error(
+            "level_profile snapshot: bad magic '" + magic + "' (expected '" +
+            std::string(snapshot_magic) + "')");
+    }
+    if (version != snapshot_version) {
+        throw std::runtime_error(
+            "level_profile snapshot: unsupported version " +
+            std::to_string(version) + " (this build reads version " +
+            std::to_string(snapshot_version) + ")");
+    }
+    std::uint64_t n = 0;
+    std::uint64_t levels = 0;
+    if (!(in >> n >> levels) || n == 0 || levels == 0) {
+        throw std::runtime_error("level_profile snapshot: malformed bin or "
+                                 "level count");
+    }
+    level_profile profile(n);
+    profile.ensure_levels(levels);
+    std::fill(profile.counts_.begin(), profile.counts_.end(), 0);
+    profile.fenwick_ = fenwick_tree(profile.counts_.size());
+    profile.total_balls_ = 0;
+    profile.max_level_ = 0;
+    std::uint64_t bins = 0;
+    for (std::uint64_t level = 0; level < levels; ++level) {
+        std::uint64_t count = 0;
+        if (!(in >> count)) {
+            throw std::runtime_error(
+                "level_profile snapshot: expected " + std::to_string(levels) +
+                " per-level counts, got " + std::to_string(level));
+        }
+        profile.counts_[level] = count;
+        if (count != 0) {
+            profile.fenwick_.add(level, static_cast<std::int64_t>(count));
+            profile.total_balls_ += level * count;
+            profile.max_level_ = level;
+            bins += count;
+        }
+    }
+    if (bins != n) {
+        throw std::runtime_error(
+            "level_profile snapshot: counts sum to " + std::to_string(bins) +
+            " bins but the header promises " + std::to_string(n));
+    }
+    return profile;
+}
+
+bool level_profile::operator==(const level_profile& other) const {
+    if (n_ != other.n_ || max_level_ != other.max_level_ ||
+        total_balls_ != other.total_balls_) {
+        return false;
+    }
+    for (std::uint64_t level = 0; level <= max_level_; ++level) {
+        if (counts_[level] != other.counts_[level]) {
+            return false;
+        }
+    }
+    // Extraction state must agree too (a mid-round profile differs from its
+    // completed counterpart even with identical counts_).
+    return remaining_bins() == other.remaining_bins();
 }
 
 load_metrics level_profile::metrics() const {

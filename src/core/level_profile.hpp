@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <vector>
 
 #include "core/fenwick.hpp"
@@ -101,6 +102,22 @@ public:
     /// Load metrics straight from the profile in O(L) — no per-bin pass.
     /// Requires no bin to be extracted.
     [[nodiscard]] load_metrics metrics() const;
+
+    /// Writes a small text snapshot ("kdc-level-profile 1", n, then the
+    /// per-level counts up to max_level) — O(L) bytes even for billion-bin
+    /// runs, which is what makes those runs resumable: save the profile,
+    /// reload it later and hand it to a level process's snapshot
+    /// constructor. Requires no bin to be extracted.
+    void save(std::ostream& out) const;
+
+    /// Reconstructs a profile from a save() snapshot. Throws
+    /// std::runtime_error with a precise message on malformed input (bad
+    /// magic/version, missing fields, counts that do not sum to n).
+    [[nodiscard]] static level_profile load(std::istream& in);
+
+    /// Structural equality: same bins-per-level counts (capacity beyond the
+    /// top level is ignored). Extracted bins count as absent.
+    [[nodiscard]] bool operator==(const level_profile& other) const;
 
 private:
     std::vector<std::uint64_t> counts_;

@@ -45,8 +45,9 @@ run_grid(thread_pool& pool, std::span<const std::uint32_t> reps_per_cell,
          RunFn&& run, const sweep_progress& progress = {}) {
     return run_engine_grid<T>(
         pool, reps_per_cell, std::forward<RunFn>(run),
-        [](const T&) { return 0.0; }, // metric unused under fixed_reps
-        fixed_reps_rule(), progress);
+        // metric unused under fixed_reps
+        [](std::size_t, const T&) { return 0.0; }, fixed_reps_rule(),
+        progress);
 }
 
 /// Parallel counterpart of run_experiment: the one-cell grid, run on the

@@ -59,6 +59,35 @@ struct repetition_result {
     std::uint64_t empty_bins = 0;
 };
 
+/// Which per-repetition statistic a cell reports as its headline number and
+/// the adaptive stopping rule monitors (core/engine.hpp). Max load is the
+/// paper's Table-1 quantity; gap (max - mean) suits the heavily loaded and
+/// weighted regimes; messages suits the adaptive-probing baselines whose
+/// message cost is itself random.
+enum class metric_kind { max_load, gap, messages };
+
+/// Short name for labels, CSV cells and scenario strings: "max_load",
+/// "gap" or "messages".
+[[nodiscard]] const char* metric_name(metric_kind metric) noexcept;
+
+/// Inverse of metric_name. Throws cli_error naming the valid set on any
+/// other spelling.
+[[nodiscard]] metric_kind metric_from_name(const std::string& name);
+
+/// The monitored statistic of one repetition under a metric choice.
+[[nodiscard]] inline double monitored_value(metric_kind metric,
+                                            const repetition_result& rep) {
+    switch (metric) {
+    case metric_kind::gap:
+        return rep.gap;
+    case metric_kind::messages:
+        return static_cast<double>(rep.messages);
+    case metric_kind::max_load:
+        break;
+    }
+    return static_cast<double>(rep.max_load);
+}
+
 /// Aggregate over all repetitions.
 struct experiment_result {
     std::vector<repetition_result> reps;

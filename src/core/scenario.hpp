@@ -1,0 +1,352 @@
+// The declarative scenario API: every allocation experiment this library
+// can run, as ONE value.
+//
+// The paper's (k,d)-choice process is one point in a family — uniform or
+// weighted probes, the (1+beta) mixture, classic d-choice, adaptive
+// thresholds — and those variants compose from a few orthogonal knobs
+// rather than from distinct code paths. A `scenario` names the knobs:
+//
+//     scenario sc = parse_scenario("kd:n=1e6,k=2,d=4,kernel=auto");
+//     any_process p = make_process(sc, seed);
+//     p.run_balls(resolved_balls(sc));
+//     auto obs = p.observe();
+//
+// One string grammar (`family:key=value,key=value,...`), one string-keyed
+// POLICY REGISTRY behind construction, and one `make_process` factory that
+// dispatches to the right simulation kernel — including the
+// level-compressed weighted and (1+beta) kernels — with `kernel=auto`
+// picking the level kernel whenever the resolved policy supports it.
+//
+// Grammar
+// -------
+//   scenario  := [ family ":" ] [ pair ( "," pair )* ]
+//   pair      := key "=" value
+//   family    := a registered policy name (see below); default "kd"
+//   keys      := n, k, d, balls, probe, skew, beta, threshold, cap,
+//                replacement, kernel, metric
+//
+//   probe       = uniform | weighted | one_plus_beta | threshold
+//                 (probe modifies the "kd" family; the probe policies are
+//                 also registered as families of their own, so
+//                 "weighted:n=1e5,k=2,d=4,skew=0.5" and
+//                 "kd:n=1e5,k=2,d=4,probe=weighted,skew=0.5" are the same
+//                 scenario)
+//   skew        = weighted probe: 0 = unit weights, s > 0 = Pareto ball
+//                 weights with shape 1 + 1/s and minimum 1 (larger s =
+//                 heavier tail)
+//   beta        = one_plus_beta probe: the two-choice mixing probability,
+//                 in [0, 1]
+//   threshold/cap = threshold probe: load threshold and probe budget
+//   replacement = with | without  (the paper's model is `with`; `without`
+//                 is the per-bin-only ablation)
+//   kernel      = perbin | level | auto
+//   metric      = max_load | gap | messages  (what adaptive stopping rules
+//                 monitor for cells built from this scenario)
+//
+// Counts (n, k, d, balls, threshold, cap) accept scientific notation
+// ("n=1e9"). Unknown keys, duplicate keys, malformed values and invalid
+// combinations (e.g. kernel=level for a policy without a level kernel) all
+// throw kdc::cli_error with a message naming the valid set.
+//
+// Registered policies: "kd" (the paper's process; d=1 degenerates to
+// single-choice), "single", "dchoice", "greedy" (the Section 7 modified
+// policy), "weighted", "one_plus_beta", "threshold". New policies can be
+// added at startup via policy_registry::instance().register_policy —
+// registration is NOT thread-safe and must finish before sweeps start
+// (cells copy their factory out of the registry at construction, so
+// workers never touch it).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/process.hpp"
+#include "core/runner.hpp"
+#include "core/sweep.hpp"
+#include "support/contracts.hpp"
+
+namespace kdc {
+class arg_parser;
+} // namespace kdc
+
+namespace kdc::core {
+
+/// How a round's probes are used: the paper's uniform policy or one of the
+/// variant policies layered on the kd frame.
+enum class probe_policy { uniform, weighted, one_plus_beta, threshold };
+
+[[nodiscard]] const char* probe_policy_name(probe_policy probe) noexcept;
+
+/// Which kernel the scenario asks for; unlike kernel_kind this includes
+/// `auto` ("level whenever the policy supports it", resolve_kernel).
+enum class kernel_choice { per_bin, level, auto_pick };
+
+[[nodiscard]] const char* kernel_choice_name(kernel_choice kernel) noexcept;
+
+/// Lifts a resolved kernel into the request enum — how benches map their
+/// legacy `--kernel` flag onto a base scenario before `--scenario` merges
+/// over it.
+[[nodiscard]] constexpr kernel_choice
+to_kernel_choice(kernel_kind kernel) noexcept {
+    return kernel == kernel_kind::level ? kernel_choice::level
+                                        : kernel_choice::per_bin;
+}
+
+/// The declarative scenario value. Fields not meaningful for the resolved
+/// policy (e.g. beta under probe=uniform) are carried but ignored.
+struct scenario {
+    std::string family = "kd";
+    std::uint64_t n = 1u << 16;
+    std::uint64_t k = 1;
+    std::uint64_t d = 2;
+    std::uint64_t balls = 0; ///< 0 = the policy default (resolved_balls)
+    probe_policy probe = probe_policy::uniform;
+    double skew = 0.0;            ///< weighted: 0 = unit, s>0 = Pareto tail
+    double beta = 0.5;            ///< one_plus_beta mixing probability
+    std::uint64_t threshold = 2;  ///< threshold policy: load threshold
+    std::uint64_t cap = 16;       ///< threshold policy: probe budget
+    probe_mode replacement = probe_mode::with_replacement;
+    kernel_choice kernel = kernel_choice::auto_pick;
+    metric_kind metric = metric_kind::max_load;
+
+    [[nodiscard]] bool operator==(const scenario&) const = default;
+};
+
+/// Parses the grammar above over default field values. Throws cli_error
+/// with a precise message on any malformed input.
+[[nodiscard]] scenario parse_scenario(std::string_view text);
+
+/// Parses the grammar over `base`: keys present in `text` override the
+/// base field, everything else is inherited — the merge benches use to let
+/// `--scenario` override their legacy flags key by key.
+[[nodiscard]] scenario parse_scenario(std::string_view text, scenario base);
+
+/// Canonical string spelling of a scenario; parse_scenario round-trips it.
+[[nodiscard]] std::string to_string(const scenario& sc);
+
+/// Validates the scenario against its resolved policy (parameter ranges,
+/// probe/family compatibility). Throws cli_error on violations.
+void validate_scenario(const scenario& sc);
+
+/// The registry key the scenario resolves to: the probe policy's name when
+/// a non-uniform probe modifies the "kd" family, else the family itself.
+[[nodiscard]] std::string resolved_policy(const scenario& sc);
+
+/// Resolves kernel=auto (level whenever the policy supports it and the
+/// probes are with-replacement) and rejects kernel=level for policies
+/// without a level kernel — the error names the level-capable set.
+[[nodiscard]] kernel_kind resolve_kernel(const scenario& sc);
+
+/// The scenario's ball count: `balls` when set, else the policy default
+/// (whole rounds of k for the batch policies, n for the per-ball ones).
+[[nodiscard]] std::uint64_t resolved_balls(const scenario& sc);
+
+/// Final-state observations of a type-erased process. Doubles, so weighted
+/// policies lose nothing; for integer-load policies the values are exact.
+struct process_observation {
+    double max_load = 0.0;
+    double gap = 0.0;
+    std::uint64_t empty_bins = 0;
+    std::uint64_t messages = 0;
+    std::uint64_t balls_placed = 0;
+};
+
+/// Converts an observation to the integer-typed repetition_result the
+/// sweep/engine stack folds. Exact for every integer-load policy; weighted
+/// max loads truncate toward zero in the max_load field (the gap field
+/// keeps full precision).
+[[nodiscard]] repetition_result
+to_repetition_result(const process_observation& obs);
+
+/// A weighted process observed per bin: double loads plus the weighted
+/// max/gap accessors (core/weighted.hpp's weighted_kd_process).
+template <typename P>
+concept weight_per_bin_observable = requires(const P cp) {
+    { cp.loads() } -> std::convertible_to<const std::vector<double>&>;
+    { cp.max_load() } -> std::convertible_to<double>;
+    { cp.gap() } -> std::convertible_to<double>;
+};
+
+/// A weighted process on the level-compressed weight_profile state
+/// (core/weighted.hpp's weighted_kd_level_process).
+template <typename P>
+concept weight_level_observable = requires(const P cp) {
+    cp.profile().to_sorted_weights();
+    { cp.max_load() } -> std::convertible_to<double>;
+    { cp.gap() } -> std::convertible_to<double>;
+};
+
+/// Type-erased allocation process: the uniform handle make_process returns
+/// for every policy and kernel. Move-only, like the processes it wraps.
+class any_process {
+public:
+    template <typename P>
+    explicit any_process(P process)
+        : impl_(std::make_unique<model<P>>(std::move(process))) {}
+
+    any_process(any_process&&) noexcept = default;
+    any_process& operator=(any_process&&) noexcept = default;
+
+    void run_balls(std::uint64_t balls) { impl_->run_balls(balls); }
+
+    [[nodiscard]] process_observation observe() const {
+        return impl_->observe();
+    }
+
+    /// The final sorted (descending) load vector, as doubles — O(n), for
+    /// profile-shaped benches and small-n verification.
+    [[nodiscard]] std::vector<double> sorted_loads() const {
+        return impl_->sorted_loads();
+    }
+
+private:
+    struct iface {
+        virtual ~iface() = default;
+        virtual void run_balls(std::uint64_t balls) = 0;
+        [[nodiscard]] virtual process_observation observe() const = 0;
+        [[nodiscard]] virtual std::vector<double> sorted_loads() const = 0;
+    };
+
+    template <typename P>
+    struct model final : iface {
+        explicit model(P process) : self(std::move(process)) {}
+        void run_balls(std::uint64_t balls) override {
+            self.run_balls(balls);
+        }
+        [[nodiscard]] process_observation observe() const override;
+        [[nodiscard]] std::vector<double> sorted_loads() const override;
+        P self;
+    };
+
+    std::unique_ptr<iface> impl_;
+};
+
+template <typename P>
+process_observation any_process::model<P>::observe() const {
+    process_observation obs;
+    obs.messages = self.messages();
+    obs.balls_placed = self.balls_placed();
+    if constexpr (per_bin_observable<P> || level_observable<P>) {
+        const auto m = observed_load_metrics(self);
+        obs.max_load = static_cast<double>(m.max_load);
+        obs.gap = m.gap;
+        obs.empty_bins = m.empty_bins;
+    } else if constexpr (weight_level_observable<P>) {
+        obs.max_load = self.max_load();
+        obs.gap = self.gap();
+        obs.empty_bins = self.profile().bins_at(0.0);
+    } else {
+        static_assert(weight_per_bin_observable<P>,
+                      "any_process needs loads()/profile() observability");
+        obs.max_load = self.max_load();
+        obs.gap = self.gap();
+        std::uint64_t empty = 0;
+        for (const double load : self.loads()) {
+            empty += load == 0.0 ? 1 : 0;
+        }
+        obs.empty_bins = empty;
+    }
+    return obs;
+}
+
+template <typename P>
+std::vector<double> any_process::model<P>::sorted_loads() const {
+    if constexpr (per_bin_observable<P>) {
+        const auto sorted = sorted_loads_desc(self.loads());
+        return std::vector<double>(sorted.begin(), sorted.end());
+    } else if constexpr (level_observable<P>) {
+        const auto sorted = self.profile().to_sorted_loads();
+        return std::vector<double>(sorted.begin(), sorted.end());
+    } else if constexpr (weight_level_observable<P>) {
+        return self.profile().to_sorted_weights();
+    } else {
+        static_assert(weight_per_bin_observable<P>,
+                      "any_process needs loads()/profile() observability");
+        std::vector<double> loads(self.loads().begin(), self.loads().end());
+        std::sort(loads.begin(), loads.end(), std::greater<>{});
+        return loads;
+    }
+}
+
+/// One registry entry: what the policy is called, what it supports, and
+/// how to build a repetition's process for it.
+struct policy_info {
+    std::string name;
+    std::string summary;
+    bool supports_level = false;       ///< has a level-compressed kernel
+    bool supports_replacement = false; ///< honors replacement=without
+    /// Builds a fresh process. `kernel` is already resolved (never auto)
+    /// and valid for this policy; must be const-callable concurrently.
+    std::function<any_process(const scenario& sc, kernel_kind kernel,
+                              std::uint64_t seed)>
+        make;
+};
+
+/// The string-keyed policy registry behind make_process. The singleton is
+/// pre-populated with the built-in policies listed in the header comment.
+class policy_registry {
+public:
+    [[nodiscard]] static policy_registry& instance();
+
+    /// Adds (or replaces) a policy. Not thread-safe; call during startup,
+    /// before any sweep runs.
+    void register_policy(policy_info info);
+
+    /// nullptr when the name is unknown.
+    [[nodiscard]] const policy_info* find(std::string_view name) const;
+
+    /// Like find, but throws cli_error naming the registered set.
+    [[nodiscard]] const policy_info& at(std::string_view name) const;
+
+    /// All registered policy names, sorted.
+    [[nodiscard]] std::vector<std::string> names() const;
+
+    /// The names of policies with a level kernel, sorted (error messages
+    /// for kernel=level name this set).
+    [[nodiscard]] std::vector<std::string> level_capable_names() const;
+
+private:
+    policy_registry();
+    std::map<std::string, policy_info, std::less<>> entries_;
+};
+
+/// THE factory: validates the scenario, resolves the kernel, looks the
+/// policy up in the registry and builds the process for one repetition.
+[[nodiscard]] any_process make_process(const scenario& sc, std::uint64_t seed);
+
+/// One repetition of a scenario: build, run `balls` balls, observe.
+[[nodiscard]] repetition_result
+run_scenario_repetition(const scenario& sc, std::uint64_t derived_seed,
+                        std::uint64_t balls);
+
+/// Serial multi-repetition experiment over a scenario — the scenario-typed
+/// counterpart of run_experiment, bit-identical to it for every policy the
+/// legacy convenience runners cover. config.balls = 0 means
+/// resolved_balls(sc).
+[[nodiscard]] experiment_result
+run_scenario_experiment(const scenario& sc, const experiment_config& config);
+
+/// A sweep cell whose repetitions run `sc` (core/sweep.hpp). The cell's
+/// monitored metric is sc.metric; config.balls = 0 means resolved_balls.
+/// The policy factory is copied out of the registry here, so the returned
+/// cell never touches the registry from worker threads.
+[[nodiscard]] sweep_cell make_scenario_cell(std::string name,
+                                            const scenario& sc,
+                                            experiment_config config);
+
+/// Builds the effective scenario of a binary: parses the standard
+/// `--scenario` option (arg_parser::add_scenario_option) over `base` — the
+/// scenario the binary assembled from its legacy flags — so scenario keys
+/// override legacy flags and everything else is inherited. An absent or
+/// empty --scenario returns `base` unchanged.
+[[nodiscard]] scenario scenario_from_cli(const arg_parser& args,
+                                         scenario base = {});
+
+} // namespace kdc::core

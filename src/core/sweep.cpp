@@ -72,10 +72,10 @@ std::vector<sweep_outcome> run_sweep(thread_pool& pool,
             return cells[cell].run_rep(
                 rng::derive_seed(cells[cell].config.seed, rep));
         },
-        // The confidence_width rule monitors the per-repetition max load —
-        // the statistic the paper's tables report.
-        [](const repetition_result& rep) {
-            return static_cast<double>(rep.max_load);
+        // The confidence_width rule monitors each cell's chosen metric
+        // (max load by default — the statistic the paper's tables report).
+        [&cells](std::size_t cell, const repetition_result& rep) {
+            return monitored_value(cells[cell].metric, rep);
         },
         options.stopping, options.progress);
 

@@ -36,10 +36,14 @@ namespace kdc::core {
 /// One named cell of a sweep: an experiment configuration plus a type-erased
 /// per-repetition runner. `run_rep(derived_seed)` receives the already
 /// derived seed for its repetition and must be callable concurrently.
+/// `metric` selects the per-repetition statistic an adaptive stopping rule
+/// monitors for THIS cell (cells of one sweep may monitor different
+/// metrics; fixed_reps ignores it).
 struct sweep_cell {
     std::string name;
     experiment_config config;
     std::function<repetition_result(std::uint64_t derived_seed)> run_rep;
+    metric_kind metric = metric_kind::max_load;
 };
 
 /// Builds a sweep_cell from a process factory (the same factory shape the

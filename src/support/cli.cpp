@@ -44,14 +44,26 @@ void arg_parser::add_adaptive_options() {
              "(decisions on rep-order folds: output is still bit-identical "
              "at any --threads value)");
     add_option("ci-width", "0.5",
-               "adaptive mode: target CI half-width of the mean max load; "
-               "must be a positive finite number");
+               "adaptive mode: target CI half-width of the monitored "
+               "metric's mean; must be a positive finite number");
+    add_option("ci-rel", "0",
+               "adaptive mode: relative (mean-scaled) width target — stop "
+               "once the CI half-width is <= ci-rel * |mean|; positive "
+               "finite, mutually exclusive with an explicit --ci-width");
     add_option("min-reps", "3",
                "adaptive mode: repetitions every cell runs before the first "
                "stop decision (>= 2, variance needs two samples)");
     add_option("max-reps", "0",
                "adaptive mode: hard cap on repetitions per cell (0 = the "
                "cell's configured --reps)");
+}
+
+void arg_parser::add_scenario_option() {
+    add_option("scenario", "",
+               "declarative scenario string, e.g. "
+               "'kd:n=1e6,k=2,d=4,probe=uniform,kernel=auto,"
+               "metric=max_load'; keys override the matching legacy flags "
+               "(see core/scenario.hpp for the grammar)");
 }
 
 unsigned arg_parser::get_threads() const {

@@ -48,11 +48,26 @@ public:
     /// Declares the standard adaptive-precision options shared by the sweep
     /// binaries: `--adaptive` (switch the execution engine's stopping rule
     /// from fixed_reps to confidence_width), `--ci-width` (target 95% CI
-    /// half-width of the mean max load), `--min-reps` and `--max-reps`
-    /// (floor / cap on per-cell repetitions; --max-reps=0 means "the cell's
-    /// configured --reps"). core::stopping_rule_from_cli assembles the rule
-    /// and validates the cross-option constraints.
+    /// half-width of the monitored per-rep metric's mean), `--ci-rel` (the
+    /// mean-scaled alternative: target half-width = ci-rel * |mean|,
+    /// mutually exclusive with an explicit --ci-width), `--min-reps` and
+    /// `--max-reps` (floor / cap on per-cell repetitions; --max-reps=0
+    /// means "the cell's configured --reps").
+    /// core::stopping_rule_from_cli assembles the rule and validates the
+    /// cross-option constraints.
     void add_adaptive_options();
+
+    /// Declares the standard `--scenario` option: one declarative string
+    /// ("kd:n=1e6,k=2,d=4,kernel=auto") that overrides the binary's legacy
+    /// flags key by key. Parsed and merged by core::scenario_from_cli
+    /// (core/scenario.hpp), which documents the grammar.
+    void add_scenario_option();
+
+    /// True when the user explicitly supplied a value for `name` (as
+    /// opposed to the declared default being in effect).
+    [[nodiscard]] bool has_value(const std::string& name) const {
+        return values_.find(name) != values_.end();
+    }
 
     /// Parses argv. Throws cli_error on unknown/malformed options.
     /// Returns false if `--help` was requested (usage printed to stdout).

@@ -8,8 +8,10 @@
 #include <vector>
 
 #include "core/process.hpp"
+#include "core/scenario.hpp"
 #include "core/sweep.hpp"
 #include "stats/running_stats.hpp"
+#include "support/cli.hpp"
 #include "support/contracts.hpp"
 
 namespace {
@@ -19,6 +21,7 @@ using kdc::core::confidence_reached;
 using kdc::core::confidence_width_rule;
 using kdc::core::fixed_reps_rule;
 using kdc::core::make_sweep_cell;
+using kdc::core::monitored_value;
 using kdc::core::resolve_cell_plan;
 using kdc::core::run_engine_grid;
 using kdc::core::run_sweep;
@@ -84,7 +87,7 @@ TEST(SweepEngine, AdaptiveMatchesSerialReferenceAtAnyThreadCount) {
             [&spreads](std::size_t c, std::uint32_t rep) {
                 return synthetic_value(c, rep, spreads[c]);
             },
-            [](const double& value) { return value; }, rule);
+            [](std::size_t, const double& value) { return value; }, rule);
         ASSERT_EQ(grid.size(), reference.size());
         for (std::size_t c = 0; c < grid.size(); ++c) {
             EXPECT_EQ(grid[c], reference[c])
@@ -104,7 +107,7 @@ TEST(SweepEngine, LowVarianceStopsAtFloorHighVarianceRunsLonger) {
             // Cell 0 is constant; cell 1 swings +/- 20.
             return synthetic_value(c, rep, c == 0 ? 0.0 : 20.0);
         },
-        [](const double& value) { return value; }, rule);
+        [](std::size_t, const double& value) { return value; }, rule);
     EXPECT_EQ(grid[0].size(), 4u); // zero variance: stop at the floor
     EXPECT_GT(grid[1].size(), 4u); // needs more data than the floor
     EXPECT_LE(grid[1].size(), 64u);
@@ -120,7 +123,7 @@ TEST(SweepEngine, UnreachableTargetRunsToCap) {
         [](std::size_t, std::uint32_t rep) {
             return synthetic_value(0, rep, 5.0);
         },
-        [](const double& value) { return value; }, rule);
+        [](std::size_t, const double& value) { return value; }, rule);
     EXPECT_EQ(grid[0].size(), 17u);
 }
 
@@ -135,7 +138,7 @@ TEST(SweepEngine, CapDefaultsToConfiguredReps) {
         [](std::size_t, std::uint32_t rep) {
             return synthetic_value(0, rep, 5.0);
         },
-        [](const double& value) { return value; }, rule);
+        [](std::size_t, const double& value) { return value; }, rule);
     EXPECT_EQ(grid[0].size(), 7u);
 }
 
@@ -153,7 +156,7 @@ TEST(SweepEngine, HugeRepCapDoesNotPreallocateTheCap) {
         [](std::size_t, std::uint32_t rep) {
             return static_cast<double>(rep % 2);
         },
-        [](const double& value) { return value; }, rule);
+        [](std::size_t, const double& value) { return value; }, rule);
     EXPECT_EQ(grid[0].size(), 2u);
     EXPECT_LT(grid[0].capacity(), 1'000'000u);
 }
@@ -166,7 +169,7 @@ TEST(SweepEngine, FixedModeIgnoresMetricAndRunsEverything) {
         [](std::size_t c, std::uint32_t rep) {
             return synthetic_value(c, rep, 1.0);
         },
-        [](const double&) -> double {
+        [](std::size_t, const double&) -> double {
             throw std::logic_error("metric must not run under fixed_reps");
         },
         fixed_reps_rule());
@@ -258,14 +261,14 @@ TEST(SweepEngine, ExceptionUnderAdaptiveRulePropagatesAndPoolSurvives) {
                 }
                 return static_cast<double>(rep);
             },
-            [](const double& value) { return value; }, rule),
+            [](std::size_t, const double& value) { return value; }, rule),
         std::runtime_error);
     // The engine drained before rethrowing; the pool keeps working.
     const auto grid = run_engine_grid<double>(
         pool, reps, [](std::size_t, std::uint32_t rep) {
             return static_cast<double>(rep);
         },
-        [](const double& value) { return value; }, fixed_reps_rule());
+        [](std::size_t, const double& value) { return value; }, fixed_reps_rule());
     EXPECT_EQ(grid[0].size(), 32u);
 }
 
@@ -279,7 +282,7 @@ TEST(SweepEngine, ThrowingMetricIsCapturedLikeAFailingRepetition) {
                      [](std::size_t, std::uint32_t rep) {
                          return static_cast<double>(rep);
                      },
-                     [](const double&) -> double {
+                     [](std::size_t, const double&) -> double {
                          throw std::runtime_error("metric failed");
                      },
                      rule),
@@ -327,6 +330,122 @@ TEST(SweepEngine, RejectsInvalidRules) {
     EXPECT_NO_THROW(kdc::core::validate_stopping_rule(fixed_reps_rule()));
 }
 
+TEST(SweepEngine, RelativeWidthRuleScalesTheTargetWithTheMean) {
+    // Same spread, very different means: a mean-scaled target stops the
+    // large-mean cell early while the small-mean cell has to keep going.
+    kdc::stats::running_stats small_mean;
+    kdc::stats::running_stats large_mean;
+    for (const double deviation : {-1.0, 1.0, -1.0, 1.0}) {
+        small_mean.push(2.0 + deviation);
+        large_mean.push(1000.0 + deviation);
+    }
+    const auto rule = kdc::core::relative_width_rule(/*ci_rel=*/0.05);
+    EXPECT_FALSE(confidence_reached(small_mean, rule)); // 0.05*2 is tiny
+    EXPECT_TRUE(confidence_reached(large_mean, rule));  // 0.05*1000 = 50
+
+    // The absolute rule with the same nominal number reads it as an
+    // absolute half-width and treats both cells identically.
+    const auto absolute = confidence_width_rule(0.05);
+    EXPECT_FALSE(confidence_reached(small_mean, absolute));
+    EXPECT_FALSE(confidence_reached(large_mean, absolute));
+}
+
+TEST(SweepEngine, RelativeWidthRuleIsValidatedLikeTheAbsoluteOne) {
+    EXPECT_THROW((void)kdc::core::relative_width_rule(0.0),
+                 kdc::contract_violation);
+    EXPECT_THROW((void)kdc::core::relative_width_rule(-0.1),
+                 kdc::contract_violation);
+    // Exactly one target: both set (or neither) is invalid.
+    stopping_rule both;
+    both.mode = stopping_mode::confidence_width;
+    both.ci_half_width = 0.5;
+    both.ci_rel = 0.1;
+    EXPECT_THROW(kdc::core::validate_stopping_rule(both),
+                 kdc::contract_violation);
+    stopping_rule neither;
+    neither.mode = stopping_mode::confidence_width;
+    EXPECT_THROW(kdc::core::validate_stopping_rule(neither),
+                 kdc::contract_violation);
+    EXPECT_NO_THROW(kdc::core::validate_stopping_rule(
+        kdc::core::relative_width_rule(0.1, 2, 40)));
+}
+
+TEST(SweepEngine, StoppingRuleFromCliReadsCiRel) {
+    auto parse_rule = [](std::vector<const char*> argv) {
+        kdc::arg_parser args;
+        args.add_adaptive_options();
+        argv.insert(argv.begin(), "bench");
+        if (!args.parse(static_cast<int>(argv.size()), argv.data())) {
+            throw std::runtime_error("unexpected --help");
+        }
+        return kdc::core::stopping_rule_from_cli(args);
+    };
+    const auto relative = parse_rule({"--adaptive", "--ci-rel=0.1"});
+    EXPECT_EQ(relative.mode, stopping_mode::confidence_width);
+    EXPECT_DOUBLE_EQ(relative.ci_rel, 0.1);
+    EXPECT_DOUBLE_EQ(relative.ci_half_width, 0.0);
+
+    const auto absolute = parse_rule({"--adaptive", "--ci-width=0.4"});
+    EXPECT_DOUBLE_EQ(absolute.ci_half_width, 0.4);
+    EXPECT_DOUBLE_EQ(absolute.ci_rel, 0.0);
+
+    // Validation mirrors --ci-width: garbage, zero, negative and
+    // non-finite values are precise cli_errors, and the two targets are
+    // mutually exclusive.
+    EXPECT_THROW((void)parse_rule({"--adaptive", "--ci-rel=abc"}),
+                 kdc::cli_error);
+    EXPECT_THROW((void)parse_rule({"--adaptive", "--ci-rel=0"}),
+                 kdc::cli_error);
+    EXPECT_THROW((void)parse_rule({"--adaptive", "--ci-rel=-1"}),
+                 kdc::cli_error);
+    EXPECT_THROW((void)parse_rule({"--adaptive", "--ci-rel=inf"}),
+                 kdc::cli_error);
+    EXPECT_THROW((void)parse_rule({"--adaptive", "--ci-rel=1e999"}),
+                 kdc::cli_error);
+    EXPECT_THROW(
+        (void)parse_rule({"--adaptive", "--ci-rel=0.1", "--ci-width=0.4"}),
+        kdc::cli_error);
+}
+
+TEST(SweepEngine, PerCellMetricDrivesAdaptiveStopping) {
+    // Two identical cells except for the monitored metric: the max-load
+    // monitor sees zero spread (every rep hits the same max load) and
+    // stops at the floor; the messages monitor sees the same constancy
+    // too, but a gap monitor with a wide target also stops at the floor —
+    // exercise that the per-cell dispatch actually reads cell.metric.
+    using kdc::core::make_scenario_cell;
+    using kdc::core::parse_scenario;
+    const auto max_cell = make_scenario_cell(
+        "max", parse_scenario("single:n=64,metric=max_load,kernel=perbin"),
+        {.balls = 64, .reps = 12, .seed = 5});
+    auto gap_sc = parse_scenario("single:n=64,metric=gap,kernel=perbin");
+    const auto gap_cell = make_scenario_cell(
+        "gap", gap_sc, {.balls = 64, .reps = 12, .seed = 5});
+    EXPECT_EQ(max_cell.metric, kdc::core::metric_kind::max_load);
+    EXPECT_EQ(gap_cell.metric, kdc::core::metric_kind::gap);
+
+    sweep_options options;
+    options.threads = 2;
+    options.stopping = confidence_width_rule(/*ci_half_width=*/1e9, 2, 12);
+    const auto outcomes =
+        run_sweep({max_cell, gap_cell}, options);
+    ASSERT_EQ(outcomes.size(), 2u);
+    // A huge target stops both at the floor; the point is that dispatch
+    // through different metrics runs without touching the wrong field.
+    EXPECT_EQ(outcomes[0].result.reps.size(), 2u);
+    EXPECT_EQ(outcomes[1].result.reps.size(), 2u);
+    // monitored_value itself picks the right field.
+    kdc::core::repetition_result rep;
+    rep.max_load = 7;
+    rep.gap = 2.5;
+    rep.messages = 99;
+    EXPECT_DOUBLE_EQ(
+        monitored_value(kdc::core::metric_kind::max_load, rep), 7.0);
+    EXPECT_DOUBLE_EQ(monitored_value(kdc::core::metric_kind::gap, rep), 2.5);
+    EXPECT_DOUBLE_EQ(
+        monitored_value(kdc::core::metric_kind::messages, rep), 99.0);
+}
+
 TEST(SweepEngine, ProgressTotalIsTheCapAndCompletionMayStopShort) {
     // Adaptive progress reports against the maximum possible job count; a
     // cell that stops early simply never reaches it.
@@ -340,7 +459,7 @@ TEST(SweepEngine, ProgressTotalIsTheCapAndCompletionMayStopShort) {
         [](std::size_t, std::uint32_t rep) {
             return static_cast<double>(rep % 2);
         },
-        [](const double& value) { return value; }, rule,
+        [](std::size_t, const double& value) { return value; }, rule,
         [&calls](std::size_t done, std::size_t total) {
             calls.emplace_back(done, total);
         });

@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
+#include "core/level_process.hpp"
 #include "core/metrics.hpp"
 #include "support/contracts.hpp"
 
@@ -142,6 +146,78 @@ TEST(LevelProfile, BillionBinProfileIsTiny) {
     EXPECT_EQ(profile.bins_at(0), 999'999'999ULL);
     EXPECT_EQ(profile.level_at_rank(999'999'999ULL), 1u);
     EXPECT_LT(profile.level_capacity(), 64u);
+}
+
+TEST(LevelProfileSnapshot, SaveLoadRoundTripsExactly) {
+    const load_vector loads{7, 0, 3, 3, 1, 0, 0, 2};
+    const auto profile = level_profile::from_loads(loads);
+    std::stringstream snapshot;
+    profile.save(snapshot);
+    const auto restored = level_profile::load(snapshot);
+    EXPECT_TRUE(restored == profile);
+    EXPECT_EQ(restored.to_sorted_loads(), profile.to_sorted_loads());
+    const auto metrics = restored.metrics();
+    EXPECT_EQ(metrics.max_load, 7u);
+    EXPECT_EQ(metrics.empty_bins, 3u);
+    EXPECT_EQ(metrics.total_balls, 16u);
+}
+
+TEST(LevelProfileSnapshot, BillionBinSnapshotIsTinyAndRoundTrips) {
+    level_profile profile(1'000'000'000ULL);
+    profile.move_bin(0, 1);
+    profile.move_bin(0, 1);
+    profile.move_bin(1, 2);
+    std::stringstream snapshot;
+    profile.save(snapshot);
+    EXPECT_LT(snapshot.str().size(), 128u); // O(max level) bytes, not O(n)
+    EXPECT_TRUE(level_profile::load(snapshot) == profile);
+}
+
+TEST(LevelProfileSnapshot, RefusesExtractedBinsAndMalformedInput) {
+    level_profile profile(4);
+    profile.extract_bin(0);
+    std::stringstream out;
+    EXPECT_THROW(profile.save(out), kdc::contract_violation);
+    profile.insert_bin(0);
+
+    auto load_of = [](const std::string& text) {
+        std::stringstream in(text);
+        return level_profile::load(in);
+    };
+    EXPECT_THROW((void)load_of(""), std::runtime_error);
+    EXPECT_THROW((void)load_of("not-a-profile 1\n4 1\n4\n"),
+                 std::runtime_error);
+    EXPECT_THROW((void)load_of("kdc-level-profile 9\n4 1\n4\n"),
+                 std::runtime_error);
+    EXPECT_THROW((void)load_of("kdc-level-profile 1\n0 1\n"),
+                 std::runtime_error);
+    // Truncated count list.
+    EXPECT_THROW((void)load_of("kdc-level-profile 1\n4 2\n3\n"),
+                 std::runtime_error);
+    // Counts that do not sum to n.
+    EXPECT_THROW((void)load_of("kdc-level-profile 1\n4 2\n1 1\n"),
+                 std::runtime_error);
+    // A well-formed snapshot loads.
+    const auto ok = load_of("kdc-level-profile 1\n4 2\n3 1\n");
+    EXPECT_EQ(ok.n(), 4u);
+    EXPECT_EQ(ok.bins_at(1), 1u);
+    EXPECT_EQ(ok.max_level(), 1u);
+}
+
+TEST(LevelProfileSnapshot, ResumesALevelProcessRun) {
+    // The resumable-billion-bin-run shape at test scale: run, snapshot,
+    // reload, continue — counters on the resumed process start fresh.
+    kdc::core::kd_choice_level_process first(512, 2, 4, 99);
+    first.run_balls(256);
+    std::stringstream snapshot;
+    first.profile().save(snapshot);
+
+    kdc::core::kd_choice_level_process resumed(
+        level_profile::load(snapshot), 2, 4, 100);
+    EXPECT_EQ(resumed.balls_placed(), 0u);
+    resumed.run_balls(256);
+    EXPECT_EQ(resumed.profile().total_balls(), 512u);
+    EXPECT_EQ(resumed.profile().remaining_bins(), 512u);
 }
 
 } // namespace

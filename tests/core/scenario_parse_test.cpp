@@ -1,0 +1,271 @@
+// The scenario grammar and registry: parsing, precise errors, kernel/auto
+// resolution, string round-trips and the CLI merge. The behavioural
+// (distribution/byte-equality) side lives in scenario_equivalence_test.cpp.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/scenario.hpp"
+#include "support/cli.hpp"
+
+using kdc::cli_error;
+using kdc::core::kernel_choice;
+using kdc::core::kernel_kind;
+using kdc::core::metric_kind;
+using kdc::core::parse_scenario;
+using kdc::core::policy_registry;
+using kdc::core::probe_mode;
+using kdc::core::probe_policy;
+using kdc::core::resolve_kernel;
+using kdc::core::resolved_balls;
+using kdc::core::scenario;
+
+namespace {
+
+/// The cli_error message for a parse, or "" when none is thrown.
+std::string parse_error(const std::string& text) {
+    try {
+        (void)parse_scenario(text);
+    } catch (const cli_error& error) {
+        return error.what();
+    }
+    return "";
+}
+
+} // namespace
+
+TEST(ScenarioParse, DefaultsAndFullKeySet) {
+    const auto sc = parse_scenario("kd:n=1024,k=2,d=4");
+    EXPECT_EQ(sc.family, "kd");
+    EXPECT_EQ(sc.n, 1024u);
+    EXPECT_EQ(sc.k, 2u);
+    EXPECT_EQ(sc.d, 4u);
+    EXPECT_EQ(sc.probe, probe_policy::uniform);
+    EXPECT_EQ(sc.kernel, kernel_choice::auto_pick);
+    EXPECT_EQ(sc.metric, metric_kind::max_load);
+    EXPECT_EQ(sc.replacement, probe_mode::with_replacement);
+
+    const auto full = parse_scenario(
+        "kd:n=4096,k=2,d=6,balls=1000,probe=one_plus_beta,beta=0.25,"
+        "replacement=with,kernel=perbin,metric=gap");
+    EXPECT_EQ(full.balls, 1000u);
+    EXPECT_EQ(full.probe, probe_policy::one_plus_beta);
+    EXPECT_DOUBLE_EQ(full.beta, 0.25);
+    EXPECT_EQ(full.kernel, kernel_choice::per_bin);
+    EXPECT_EQ(full.metric, metric_kind::gap);
+}
+
+TEST(ScenarioParse, ScientificNotationCounts) {
+    EXPECT_EQ(parse_scenario("kd:n=1e6,k=2,d=4").n, 1'000'000u);
+    EXPECT_EQ(parse_scenario("kd:n=2.5e3,k=2,d=4").n, 2'500u);
+    // A count that is not an integer is rejected, not rounded.
+    EXPECT_THROW((void)parse_scenario("kd:n=2.5"), cli_error);
+}
+
+TEST(ScenarioParse, FamilyPrefixIsOptionalAndValidated) {
+    EXPECT_EQ(parse_scenario("n=512,k=2,d=4").family, "kd");
+    EXPECT_EQ(parse_scenario("single:n=512").family, "single");
+    const auto message = parse_error("bogus:n=512");
+    EXPECT_NE(message.find("unknown scenario family 'bogus'"),
+              std::string::npos);
+    // The error names the registered set.
+    EXPECT_NE(message.find("kd"), std::string::npos);
+    EXPECT_NE(message.find("weighted"), std::string::npos);
+}
+
+TEST(ScenarioParse, UnknownKeyNamesTheValidSet) {
+    const auto message = parse_error("kd:n=512,foo=3");
+    EXPECT_NE(message.find("unknown scenario key 'foo'"), std::string::npos);
+    EXPECT_NE(message.find("kernel"), std::string::npos);
+    EXPECT_NE(message.find("metric"), std::string::npos);
+}
+
+TEST(ScenarioParse, DuplicateKeyIsAnError) {
+    const auto message = parse_error("kd:n=512,n=1024");
+    EXPECT_NE(message.find("duplicate scenario key 'n'"), std::string::npos);
+}
+
+TEST(ScenarioParse, MalformedPairsAreErrors) {
+    EXPECT_THROW((void)parse_scenario("kd:n=512,,k=2"), cli_error);
+    EXPECT_THROW((void)parse_scenario("kd:n"), cli_error);
+    EXPECT_THROW((void)parse_scenario("kd:=5"), cli_error);
+    EXPECT_THROW((void)parse_scenario("kd:n=abc"), cli_error);
+    EXPECT_THROW((void)parse_scenario("kd:beta=1e999"), cli_error);
+    EXPECT_THROW((void)parse_scenario("kd:n=512,k=2,d=4,skew=inf,"
+                                      "probe=weighted"),
+                 cli_error);
+}
+
+TEST(ScenarioParse, EnumValuesAreValidated) {
+    EXPECT_THROW((void)parse_scenario("kd:probe=nope"), cli_error);
+    EXPECT_THROW((void)parse_scenario("kd:kernel=nope"), cli_error);
+    EXPECT_THROW((void)parse_scenario("kd:metric=nope"), cli_error);
+    EXPECT_THROW((void)parse_scenario("kd:replacement=nope"), cli_error);
+}
+
+TEST(ScenarioParse, ParameterRangesAreValidated) {
+    // k >= d (and not the 1,1 degeneration) is invalid for kd.
+    EXPECT_THROW((void)parse_scenario("kd:n=512,k=4,d=4"), cli_error);
+    EXPECT_THROW((void)parse_scenario("kd:n=2,k=1,d=4"), cli_error);
+    EXPECT_NO_THROW((void)parse_scenario("kd:n=512,k=1,d=1"));
+    EXPECT_THROW((void)parse_scenario("kd:probe=one_plus_beta,beta=1.5"),
+                 cli_error);
+    EXPECT_THROW(
+        (void)parse_scenario("kd:n=512,k=2,d=4,probe=weighted,skew=-1"),
+        cli_error);
+    EXPECT_THROW((void)parse_scenario("kd:probe=threshold,cap=0"), cli_error);
+    // probe only modifies the kd family.
+    EXPECT_THROW((void)parse_scenario("single:probe=weighted"), cli_error);
+}
+
+TEST(ScenarioParse, LevelKernelRejectionNamesTheCapableSet) {
+    const auto message =
+        parse_error("kd:n=512,probe=threshold,kernel=level");
+    EXPECT_NE(message.find("policy 'threshold' has no level-compressed "
+                           "kernel"),
+              std::string::npos);
+    for (const char* name :
+         {"dchoice", "kd", "one_plus_beta", "single", "weighted"}) {
+        EXPECT_NE(message.find(name), std::string::npos) << name;
+    }
+    EXPECT_THROW((void)parse_scenario("greedy:n=512,k=2,d=4,kernel=level"),
+                 cli_error);
+    // without-replacement probes exist on the per-bin kernel only.
+    EXPECT_THROW(
+        (void)parse_scenario("kd:n=512,k=2,d=4,replacement=without,"
+                             "kernel=level"),
+        cli_error);
+    EXPECT_THROW((void)parse_scenario("single:replacement=without"),
+                 cli_error);
+}
+
+TEST(ScenarioParse, AutoKernelPicksLevelWhereSupported) {
+    EXPECT_EQ(resolve_kernel(parse_scenario("kd:n=512,k=2,d=4")),
+              kernel_kind::level);
+    EXPECT_EQ(resolve_kernel(parse_scenario("single:n=512")),
+              kernel_kind::level);
+    EXPECT_EQ(resolve_kernel(parse_scenario(
+                  "kd:n=512,k=2,d=4,probe=one_plus_beta")),
+              kernel_kind::level);
+    EXPECT_EQ(resolve_kernel(parse_scenario(
+                  "kd:n=512,k=2,d=4,probe=weighted,skew=0.5")),
+              kernel_kind::level);
+    // Policies without a level kernel degrade to perbin under auto.
+    EXPECT_EQ(resolve_kernel(parse_scenario("kd:n=512,probe=threshold")),
+              kernel_kind::per_bin);
+    EXPECT_EQ(resolve_kernel(parse_scenario("greedy:n=512,k=2,d=4")),
+              kernel_kind::per_bin);
+    // ... and so does the without-replacement ablation.
+    EXPECT_EQ(resolve_kernel(parse_scenario(
+                  "kd:n=512,k=2,d=4,replacement=without")),
+              kernel_kind::per_bin);
+    // Explicit kernels are honored as-is.
+    EXPECT_EQ(resolve_kernel(parse_scenario("kd:n=512,k=2,d=4,"
+                                            "kernel=perbin")),
+              kernel_kind::per_bin);
+}
+
+TEST(ScenarioParse, ResolvedBallsFollowsThePolicy) {
+    EXPECT_EQ(resolved_balls(parse_scenario("kd:n=1000,k=3,d=6")), 999u);
+    EXPECT_EQ(resolved_balls(parse_scenario("kd:n=1000,k=1,d=1")), 1000u);
+    EXPECT_EQ(resolved_balls(parse_scenario("single:n=1000")), 1000u);
+    EXPECT_EQ(resolved_balls(parse_scenario("dchoice:n=1000,k=1,d=2")),
+              1000u);
+    EXPECT_EQ(resolved_balls(parse_scenario("kd:n=1000,probe=one_plus_beta")),
+              1000u);
+    EXPECT_EQ(resolved_balls(parse_scenario("greedy:n=1000,k=3,d=6")), 999u);
+    EXPECT_EQ(resolved_balls(parse_scenario("kd:n=1000,k=3,d=6,balls=42")),
+              42u);
+}
+
+TEST(ScenarioParse, ExplicitBallsMustBeWholeRounds) {
+    // A balls count that is not a multiple of k is a cli_error at parse
+    // time for the round-based policies, never a contract violation later.
+    const auto message = parse_error("kd:n=100,k=3,d=6,balls=100");
+    EXPECT_NE(message.find("whole number of rounds"), std::string::npos);
+    EXPECT_THROW((void)parse_scenario("greedy:n=100,k=3,d=6,balls=100"),
+                 cli_error);
+    EXPECT_THROW(
+        (void)parse_scenario("weighted:n=100,k=3,d=6,skew=0.5,balls=100"),
+        cli_error);
+    EXPECT_NO_THROW((void)parse_scenario("kd:n=100,k=3,d=6,balls=99"));
+    // Per-ball policies take any count.
+    EXPECT_NO_THROW((void)parse_scenario("single:n=100,balls=7"));
+    EXPECT_NO_THROW((void)parse_scenario("kd:n=100,k=1,d=1,balls=7"));
+}
+
+TEST(ScenarioParse, ToStringRoundTripsFullDoublePrecision) {
+    scenario sc = parse_scenario("kd:n=512,probe=one_plus_beta");
+    sc.beta = 0.123456789012345;
+    EXPECT_EQ(parse_scenario(kdc::core::to_string(sc)), sc);
+    sc = parse_scenario("kd:n=512,k=2,d=4,probe=weighted");
+    sc.skew = 1.0 / 3.0;
+    EXPECT_EQ(parse_scenario(kdc::core::to_string(sc)), sc);
+}
+
+TEST(ScenarioParse, ToStringRoundTrips) {
+    for (const char* text :
+         {"kd:n=1024,k=2,d=4", "single:n=512,kernel=level",
+          "kd:n=4096,k=8,d=16,probe=weighted,skew=0.5,metric=gap",
+          "kd:n=256,probe=threshold,threshold=3,cap=8,metric=messages",
+          "dchoice:n=512,k=1,d=3,kernel=perbin",
+          "kd:n=512,k=2,d=4,replacement=without,kernel=perbin",
+          "greedy:n=512,k=2,d=4,balls=100"}) {
+        const auto sc = parse_scenario(text);
+        EXPECT_EQ(parse_scenario(kdc::core::to_string(sc)), sc) << text;
+    }
+}
+
+TEST(ScenarioParse, FamilySpellingAndProbeSpellingAgree) {
+    // "weighted:..." is the same scenario as "kd:probe=weighted,..." up to
+    // the spelling of the family field.
+    auto via_family = parse_scenario("weighted:n=512,k=2,d=4,skew=0.5");
+    const auto via_probe =
+        parse_scenario("kd:n=512,k=2,d=4,probe=weighted,skew=0.5");
+    EXPECT_EQ(kdc::core::resolved_policy(via_family),
+              kdc::core::resolved_policy(via_probe));
+    EXPECT_EQ(kdc::core::resolved_policy(via_probe), "weighted");
+}
+
+TEST(ScenarioParse, RegistryListsBuiltinsAndAcceptsExtensions) {
+    auto& registry = policy_registry::instance();
+    const auto names = registry.names();
+    for (const char* name : {"kd", "single", "dchoice", "greedy", "weighted",
+                             "one_plus_beta", "threshold"}) {
+        EXPECT_NE(registry.find(name), nullptr) << name;
+    }
+    EXPECT_GE(names.size(), 7u);
+    EXPECT_EQ(registry.find("no_such_policy"), nullptr);
+    EXPECT_THROW((void)registry.at("no_such_policy"), cli_error);
+}
+
+TEST(ScenarioCli, ScenarioOverridesLegacyFlagsKeyByKey) {
+    kdc::arg_parser args;
+    args.add_option("n", "2048", "bins");
+    args.add_scenario_option();
+    const char* argv[] = {"bench", "--scenario=kd:kernel=level,metric=gap"};
+    ASSERT_TRUE(args.parse(2, argv));
+
+    scenario base;
+    base.n = static_cast<std::uint64_t>(args.get_int("n"));
+    base.k = 2;
+    base.d = 4;
+    base.kernel = kernel_choice::per_bin;
+    const auto merged = kdc::core::scenario_from_cli(args, base);
+    EXPECT_EQ(merged.n, 2048u);          // inherited from the legacy flag
+    EXPECT_EQ(merged.kernel, kernel_choice::level); // overridden
+    EXPECT_EQ(merged.metric, metric_kind::gap);     // overridden
+}
+
+TEST(ScenarioCli, AbsentScenarioReturnsTheBaseUntouched) {
+    kdc::arg_parser args;
+    args.add_scenario_option();
+    const char* argv[] = {"bench"};
+    ASSERT_TRUE(args.parse(1, argv));
+    scenario base;
+    base.n = 77; // deliberately invalid for most policies (d=2 > n is fine)
+    base.k = 9;
+    base.d = 11;
+    const auto merged = kdc::core::scenario_from_cli(args, base);
+    EXPECT_EQ(merged, base); // no parse, no validation, no surprises
+}

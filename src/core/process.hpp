@@ -125,6 +125,7 @@ private:
     rng::sample_scratch sample_scratch_; // without_replacement probe mode
     round_scratch scratch_;
     rng::xoshiro256ss gen_;
+    rng::batched_uniform probe_draws_; // bound n, batched (hot probe path)
 };
 
 /// Classical single-choice: every ball goes to one bin chosen i.u.r.
@@ -150,6 +151,7 @@ private:
     load_vector loads_;
     std::uint64_t balls_placed_ = 0;
     rng::xoshiro256ss gen_;
+    rng::batched_uniform probe_draws_; // bound n, batched
 };
 
 /// Classical d-choice of Azar et al. = (1, d)-choice: each ball goes to the
@@ -177,6 +179,7 @@ private:
     std::uint64_t d_;
     std::uint64_t balls_placed_ = 0;
     rng::xoshiro256ss gen_;
+    rng::batched_uniform probe_draws_; // bound n, batched
 };
 
 static_assert(allocation_process<kd_choice_process>);

@@ -21,6 +21,20 @@ const char* kernel_name(kernel_kind kernel) noexcept {
     return kernel == kernel_kind::level ? "level" : "perbin";
 }
 
+const char* par_mode_name(par_mode mode) noexcept {
+    return mode == par_mode::round ? "round" : "rep";
+}
+
+par_mode par_mode_from_name(const std::string& name) {
+    if (name == "rep") {
+        return par_mode::rep;
+    }
+    if (name == "round") {
+        return par_mode::round;
+    }
+    throw cli_error("par must be 'rep' or 'round', got '" + name + "'");
+}
+
 const char* metric_name(metric_kind metric) noexcept {
     switch (metric) {
     case metric_kind::gap:

@@ -44,6 +44,24 @@ enum class kernel_kind { per_bin, level };
 /// Short name for labels and CSV cells: "perbin" or "level".
 [[nodiscard]] const char* kernel_name(kernel_kind kernel) noexcept;
 
+/// How an experiment exploits worker threads:
+///   * rep — repetition-level parallelism (the default, and the only mode
+///     before the sharded kernel existed): every repetition is a serial
+///     process; different repetitions run on different workers.
+///   * round — intra-repetition round parallelism: each repetition runs on
+///     the sharded round-parallel kernel (core/sharded_kernel.hpp), whose
+///     phases execute across the pool. Output is byte-identical to the
+///     serial kernel — and therefore to par=rep — at every thread count
+///     and shard count.
+enum class par_mode { rep, round };
+
+/// Short name for labels and scenario strings: "rep" or "round".
+[[nodiscard]] const char* par_mode_name(par_mode mode) noexcept;
+
+/// Inverse of par_mode_name. Throws cli_error naming the valid set on any
+/// other spelling.
+[[nodiscard]] par_mode par_mode_from_name(const std::string& name);
+
 /// Configuration for a repetition sweep.
 struct experiment_config {
     std::uint64_t balls = 0;  ///< balls to place per repetition

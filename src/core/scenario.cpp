@@ -9,6 +9,7 @@
 
 #include "core/baselines.hpp"
 #include "core/level_process.hpp"
+#include "core/sharded_kernel.hpp"
 #include "core/weighted.hpp"
 #include "support/cli.hpp"
 
@@ -18,8 +19,8 @@ namespace {
 
 /// The full key set of the grammar, for the unknown-key diagnostic.
 constexpr const char* scenario_keys =
-    "balls, beta, cap, d, k, kernel, metric, n, probe, replacement, skew, "
-    "threshold";
+    "balls, beta, cap, d, k, kernel, metric, n, par, probe, replacement, "
+    "shards, skew, threshold";
 
 std::string join(const std::vector<std::string>& names) {
     std::string out;
@@ -123,6 +124,21 @@ kernel_choice parse_kernel(const std::string& text) {
     throw cli_error("scenario key 'kernel' must be 'perbin', 'level' or "
                     "'auto', got '" +
                     text + "'");
+}
+
+/// shards = auto | positive count; "auto" is carried as 0 (the
+/// resolve_shard_count sentinel).
+std::uint64_t parse_shards(const std::string& text) {
+    if (text == "auto") {
+        return 0;
+    }
+    const std::uint64_t value = parse_count("shards", text);
+    if (value == 0) {
+        throw cli_error("scenario key 'shards' must be 'auto' or a positive "
+                        "count, got '" +
+                        text + "'");
+    }
+    return value;
 }
 
 probe_mode parse_replacement(const std::string& text) {
@@ -241,6 +257,10 @@ scenario parse_scenario(std::string_view text, scenario base) {
             sc.replacement = parse_replacement(value);
         } else if (key == "kernel") {
             sc.kernel = parse_kernel(value);
+        } else if (key == "par") {
+            sc.par = par_mode_from_name(value);
+        } else if (key == "shards") {
+            sc.shards = parse_shards(value);
         } else if (key == "metric") {
             sc.metric = metric_from_name(value);
         } else {
@@ -268,7 +288,13 @@ std::string to_string(const scenario& sc) {
         << (sc.replacement == probe_mode::with_replacement ? "with"
                                                            : "without")
         << ",kernel=" << kernel_choice_name(sc.kernel)
-        << ",metric=" << metric_name(sc.metric);
+        << ",par=" << par_mode_name(sc.par) << ",shards=";
+    if (sc.shards == 0) {
+        out << "auto";
+    } else {
+        out << sc.shards;
+    }
+    out << ",metric=" << metric_name(sc.metric);
     return out.str();
 }
 
@@ -342,6 +368,26 @@ void validate_scenario(const scenario& sc) {
                         "' only supports replacement=with (the "
                         "without-replacement ablation exists for 'kd' on "
                         "the perbin kernel)");
+    }
+    // par=round is the sharded (k,d)-choice kernel: it replays the serial
+    // kd tape, so only the paper's process qualifies — the 'kd' family
+    // proper (not its d=1 single-choice degeneration) with the
+    // with-replacement probes the tape encodes.
+    if (sc.par == par_mode::round) {
+        if (policy != "kd") {
+            throw cli_error("par=round (the sharded round-parallel kernel) "
+                            "supports the 'kd' family only, got policy '" +
+                            policy + "'");
+        }
+        if (sc.d < 2) {
+            throw cli_error("par=round requires d >= 2 (the d=1 "
+                            "single-choice degeneration has no rounds to "
+                            "shard)");
+        }
+        if (sc.replacement != probe_mode::with_replacement) {
+            throw cli_error("par=round replays the with-replacement probe "
+                            "tape; use replacement=with or par=rep");
+        }
     }
     // kernel=level incompatibilities are resolve_kernel's job; validating
     // here too keeps parse_scenario errors early and complete.
@@ -462,6 +508,17 @@ policy_registry::policy_registry() {
                  }
                  return any_process(single_choice_process(sc.n, seed));
              }
+             if (sc.par == par_mode::round) {
+                 // The sharded round-parallel kernels: byte-identical to
+                 // the serial kernels below (validate_scenario already
+                 // pinned replacement=with and d >= 2).
+                 if (kernel == kernel_kind::level) {
+                     return any_process(sharded_kd_level_process(
+                         sc.n, sc.k, sc.d, seed, sc.shards));
+                 }
+                 return any_process(sharded_kd_process(sc.n, sc.k, sc.d,
+                                                       seed, sc.shards));
+             }
              if (kernel == kernel_kind::level) {
                  return any_process(
                      kd_choice_level_process(sc.n, sc.k, sc.d, seed));
@@ -551,13 +608,26 @@ any_process make_process(const scenario& sc, std::uint64_t seed) {
 repetition_result run_scenario_repetition(const scenario& sc,
                                           std::uint64_t derived_seed,
                                           std::uint64_t balls) {
+    return run_scenario_repetition(sc, derived_seed, balls, nullptr);
+}
+
+repetition_result run_scenario_repetition(const scenario& sc,
+                                          std::uint64_t derived_seed,
+                                          std::uint64_t balls,
+                                          thread_pool* pool) {
     auto process = make_process(sc, derived_seed);
+    if (pool != nullptr) {
+        process.use_pool(pool);
+    }
     process.run_balls(balls);
     return to_repetition_result(process.observe());
 }
 
-experiment_result run_scenario_experiment(const scenario& sc,
-                                          const experiment_config& config) {
+namespace {
+
+experiment_result scenario_experiment(const scenario& sc,
+                                      const experiment_config& config,
+                                      thread_pool* pool) {
     KD_EXPECTS(config.reps >= 1);
     validate_scenario(sc);
     const std::uint64_t balls =
@@ -568,10 +638,23 @@ experiment_result run_scenario_experiment(const scenario& sc,
     out.reps.reserve(config.reps);
     for (std::uint32_t rep = 0; rep < config.reps; ++rep) {
         out.reps.push_back(run_scenario_repetition(
-            sc, rng::derive_seed(config.seed, rep), balls));
+            sc, rng::derive_seed(config.seed, rep), balls, pool));
         accumulate_repetition(out, out.reps.back());
     }
     return out;
+}
+
+} // namespace
+
+experiment_result run_scenario_experiment(const scenario& sc,
+                                          const experiment_config& config) {
+    return scenario_experiment(sc, config, nullptr);
+}
+
+experiment_result run_scenario_experiment(const scenario& sc,
+                                          const experiment_config& config,
+                                          thread_pool& pool) {
+    return scenario_experiment(sc, config, &pool);
 }
 
 sweep_cell make_scenario_cell(std::string name, const scenario& sc,
@@ -591,6 +674,9 @@ sweep_cell make_scenario_cell(std::string name, const scenario& sc,
     cell.name = std::move(name);
     cell.config = config;
     cell.metric = sc.metric;
+    // Repetition jobs already saturate the pool, so a par=round cell runs
+    // its sharded phases inline on the owning worker — the output is
+    // byte-identical either way (that is the sharded kernel's contract).
     cell.run_rep = [sc, kernel, make = std::move(make),
                     balls = config.balls](std::uint64_t derived_seed) {
         auto process = make(sc, kernel, derived_seed);

@@ -40,6 +40,13 @@
 //   replacement = with | without  (the paper's model is `with`; `without`
 //                 is the per-bin-only ablation)
 //   kernel      = perbin | level | auto
+//   par         = rep | round  (rep = repetition-level parallelism, the
+//                 default; round = the sharded round-parallel kernel of
+//                 core/sharded_kernel.hpp inside each repetition —
+//                 byte-identical output, "kd" family with d >= 2 and
+//                 replacement=with only)
+//   shards      = auto | N  (par=round: shard-count request, resolved via
+//                 resolve_shard_count; auto picks ~one shard per 32k bins)
 //   metric      = max_load | gap | messages  (what adaptive stopping rules
 //                 monitor for cells built from this scenario)
 //
@@ -78,6 +85,15 @@ class arg_parser;
 
 namespace kdc::core {
 
+class thread_pool;
+
+/// A process that can run its own phases on a shared worker pool (the
+/// sharded round-parallel kernels of core/sharded_kernel.hpp). The pool is
+/// borrowed and must outlive the process's runs; output never depends on
+/// it.
+template <typename P>
+concept pool_aware = requires(P p, thread_pool* pool) { p.use_pool(pool); };
+
 /// How a round's probes are used: the paper's uniform policy or one of the
 /// variant policies layered on the kd frame.
 enum class probe_policy { uniform, weighted, one_plus_beta, threshold };
@@ -114,6 +130,8 @@ struct scenario {
     std::uint64_t cap = 16;       ///< threshold policy: probe budget
     probe_mode replacement = probe_mode::with_replacement;
     kernel_choice kernel = kernel_choice::auto_pick;
+    par_mode par = par_mode::rep;  ///< round = sharded intra-rep kernel
+    std::uint64_t shards = 0;      ///< par=round shard request; 0 = auto
     metric_kind metric = metric_kind::max_load;
 
     [[nodiscard]] bool operator==(const scenario&) const = default;
@@ -196,6 +214,11 @@ public:
 
     void run_balls(std::uint64_t balls) { impl_->run_balls(balls); }
 
+    /// Hands a worker pool to pool_aware processes (nullptr detaches); a
+    /// silent no-op for every other process, so callers can offer their
+    /// pool unconditionally.
+    void use_pool(thread_pool* pool) { impl_->use_pool(pool); }
+
     [[nodiscard]] process_observation observe() const {
         return impl_->observe();
     }
@@ -210,6 +233,7 @@ private:
     struct iface {
         virtual ~iface() = default;
         virtual void run_balls(std::uint64_t balls) = 0;
+        virtual void use_pool(thread_pool* pool) = 0;
         [[nodiscard]] virtual process_observation observe() const = 0;
         [[nodiscard]] virtual std::vector<double> sorted_loads() const = 0;
     };
@@ -219,6 +243,13 @@ private:
         explicit model(P process) : self(std::move(process)) {}
         void run_balls(std::uint64_t balls) override {
             self.run_balls(balls);
+        }
+        void use_pool(thread_pool* pool) override {
+            if constexpr (pool_aware<P>) {
+                self.use_pool(pool);
+            } else {
+                (void)pool;
+            }
         }
         [[nodiscard]] process_observation observe() const override;
         [[nodiscard]] std::vector<double> sorted_loads() const override;
@@ -321,10 +352,15 @@ private:
 /// policy up in the registry and builds the process for one repetition.
 [[nodiscard]] any_process make_process(const scenario& sc, std::uint64_t seed);
 
-/// One repetition of a scenario: build, run `balls` balls, observe.
+/// One repetition of a scenario: build, run `balls` balls, observe. The
+/// pool overload hands `pool` to pool_aware processes (sc.par = round)
+/// before running; results are byte-identical with or without a pool.
 [[nodiscard]] repetition_result
 run_scenario_repetition(const scenario& sc, std::uint64_t derived_seed,
                         std::uint64_t balls);
+[[nodiscard]] repetition_result
+run_scenario_repetition(const scenario& sc, std::uint64_t derived_seed,
+                        std::uint64_t balls, thread_pool* pool);
 
 /// Serial multi-repetition experiment over a scenario — the scenario-typed
 /// counterpart of run_experiment, bit-identical to it for every policy the
@@ -332,6 +368,14 @@ run_scenario_repetition(const scenario& sc, std::uint64_t derived_seed,
 /// resolved_balls(sc).
 [[nodiscard]] experiment_result
 run_scenario_experiment(const scenario& sc, const experiment_config& config);
+
+/// The intra-repetition execution mode: repetitions still run (and fold) in
+/// repetition order on the calling thread, but each repetition's process is
+/// offered `pool` — under par=round its sharded phases spread across the
+/// workers. Byte-identical to the pool-less overload for every scenario.
+[[nodiscard]] experiment_result
+run_scenario_experiment(const scenario& sc, const experiment_config& config,
+                        thread_pool& pool);
 
 /// A sweep cell whose repetitions run `sc` (core/sweep.hpp). The cell's
 /// monitored metric is sc.metric; config.balls = 0 means resolved_balls.

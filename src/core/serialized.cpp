@@ -53,15 +53,17 @@ sigma_schedule fixed_schedule(std::vector<std::uint32_t> sigma) {
 serialized_process::serialized_process(std::uint64_t n, std::uint64_t k,
                                        std::uint64_t d, std::uint64_t seed,
                                        sigma_schedule schedule)
-    : loads_(n, 0), k_(k), d_(d), schedule_(std::move(schedule)), gen_(seed) {
+    : loads_(n, 0), k_(k), d_(d), schedule_(std::move(schedule)), gen_(seed),
+      probe_draws_(n) {
     KD_EXPECTS_MSG(k >= 1 && k < d && d <= n, "requires 1 <= k < d <= n");
     KD_EXPECTS_MSG(static_cast<bool>(schedule_), "schedule must be callable");
     sample_buffer_.resize(d);
 }
 
 void serialized_process::run_round() {
-    rng::sample_with_replacement(gen_, loads_.size(),
-                                 std::span<std::uint32_t>(sample_buffer_));
+    for (auto& slot : sample_buffer_) {
+        slot = static_cast<std::uint32_t>(probe_draws_.next(gen_));
+    }
     run_round_with_samples(sample_buffer_);
 }
 

@@ -79,6 +79,9 @@ private:
     std::vector<std::uint32_t> sample_buffer_;
     round_scratch scratch_;
     rng::xoshiro256ss gen_;
+    // Same buffered probe stream as kd_choice_process so the Section 3
+    // coupling (identical seed => identical probe multisets) stays exact.
+    rng::batched_uniform probe_draws_;
 };
 
 } // namespace kdc::core

@@ -1,0 +1,428 @@
+#include "core/sharded_kernel.hpp"
+
+#include <algorithm>
+
+#include "core/process.hpp"
+#include "core/thread_pool.hpp"
+
+namespace kdc::core {
+
+static_assert(allocation_process<sharded_kd_process>);
+static_assert(allocation_process<sharded_kd_level_process>);
+
+namespace {
+
+/// Bit 31 of a gathered chunk-start load flags a conflicted bin (probed by
+/// more than one slot this chunk): heights for those slots come from the
+/// overlay table instead of the gathered value.
+constexpr std::uint32_t conflict_flag = 0x80000000u;
+
+/// Chunk sizing: enough slots per chunk that the per-shard gather pass
+/// amortizes its bin window (~16 * slots / n load-line touches per miss),
+/// capped so the tape stays a modest, streamable buffer even at huge n.
+constexpr std::uint64_t max_chunk_slots = std::uint64_t{1} << 23;
+
+std::uint64_t resolve_chunk_rounds(std::uint64_t n, std::uint64_t d) {
+    const std::uint64_t target =
+        std::clamp<std::uint64_t>(n / 4, d, max_chunk_slots);
+    return std::max<std::uint64_t>(1, target / d);
+}
+
+} // namespace
+
+std::uint64_t resolve_shard_count(std::uint64_t n, std::uint64_t requested) {
+    KD_EXPECTS_MSG(n >= 1, "need at least one bin");
+    // ~32k bins per shard keeps a shard's load window L2-resident (128 KiB);
+    // the 4096 cap bounds the bucketing tables at any n.
+    const std::uint64_t cap = std::min<std::uint64_t>(n, 4096);
+    const std::uint64_t want = requested == 0 ? n / 32768 : requested;
+    return std::clamp<std::uint64_t>(want, 1, cap);
+}
+
+// ---------------------------------------------------------------------------
+// sharded_kd_process
+// ---------------------------------------------------------------------------
+
+sharded_kd_process::sharded_kd_process(std::uint64_t n, std::uint64_t k,
+                                       std::uint64_t d, std::uint64_t seed,
+                                       std::uint64_t shards)
+    : sharded_kd_process(load_vector(n, 0), k, d, seed, shards) {}
+
+sharded_kd_process::sharded_kd_process(load_vector initial_loads,
+                                       std::uint64_t k, std::uint64_t d,
+                                       std::uint64_t seed,
+                                       std::uint64_t shards)
+    : loads_(std::move(initial_loads)), k_(k), d_(d),
+      layout_(loads_.size(), resolve_shard_count(loads_.size(), shards)),
+      gen_(seed), probe_draws_(loads_.size()) {
+    KD_EXPECTS_MSG(k >= 1, "k must be positive");
+    KD_EXPECTS_MSG(k < d, "(k,d)-choice requires k < d");
+    KD_EXPECTS_MSG(d <= loads_.size(), "cannot probe more bins than exist");
+    KD_EXPECTS_MSG(loads_.size() < 0xFFFFFFFFull,
+                   "bins are 32-bit indices (one value reserved)");
+    max_chunk_rounds_ = resolve_chunk_rounds(loads_.size(), d_);
+    first_slot_.assign(loads_.size(), slot_unseen);
+    const std::uint64_t shard_count = layout_.shards();
+    conflicts_.resize(shard_count);
+    shard_counts_.resize(shard_count);
+    bucket_start_.resize(shard_count + 1);
+    sample_buffer_.resize(d_);
+    sorted_samples_.reserve(d_);
+    round_slots_.resize(d_);
+    round_vals_.resize(d_);
+}
+
+void sharded_kd_process::run_balls(std::uint64_t balls) {
+    KD_EXPECTS_MSG(balls % k_ == 0,
+                   "balls must be a multiple of k (whole rounds)");
+    std::uint64_t rounds = balls / k_;
+    while (rounds > 0) {
+        const std::uint64_t take = std::min(rounds, max_chunk_rounds_);
+        run_chunk(take);
+        rounds -= take;
+    }
+}
+
+void sharded_kd_process::run_chunk(std::uint64_t rounds) {
+    const std::uint64_t slots = rounds * d_;
+    slot_bin_.resize(slots);
+    slot_occ_.resize(slots);
+    slot_key_.resize(slots);
+    probe_load_.resize(slots);
+    kept_.assign(slots, 0);
+    bucket_.resize(slots);
+
+    pregenerate_tape(rounds);
+    bucket_by_shard(slots);
+    for_each_shard_parallel(&sharded_kd_process::gather_shard);
+
+    std::size_t conflicted_bins = 0;
+    for (const auto& list : conflicts_) {
+        conflicted_bins += list.size();
+    }
+    overlay_.rebuild(conflicted_bins);
+    for (const auto& list : conflicts_) {
+        for (const auto& [bin, load] : list) {
+            overlay_.insert(bin, load);
+        }
+    }
+
+    select_rounds(rounds);
+    for_each_shard_parallel(&sharded_kd_process::commit_shard);
+
+    balls_placed_ += k_ * rounds;
+    rounds_run_ += rounds;
+    messages_ += d_ * rounds;
+}
+
+void sharded_kd_process::pregenerate_tape(std::uint64_t rounds) {
+    // Replays kd_choice_process's RNG call order exactly: per round, d
+    // batched probe draws, then one direct generator word per slot for the
+    // tie key — probe order when the d samples are distinct, sorted-group
+    // order (occurrence heights) when any duplicate exists, as in
+    // place_round. Duplicates are detected with a pairwise scan of the d
+    // samples instead of the serial kernel's n-sized stamp array (this
+    // phase must not touch per-bin state); the boolean agrees, and the
+    // generator is only consumed by the key draws, so the tape is
+    // bit-identical to the serial kernel's.
+    std::uint64_t pos = 0;
+    for (std::uint64_t round = 0; round < rounds; ++round) {
+        for (auto& sample : sample_buffer_) {
+            sample = static_cast<std::uint32_t>(probe_draws_.next(gen_));
+        }
+        // Pairwise equality agrees exactly with the serial kernel's stamp
+        // test, and at d << sqrt(n) duplicate rounds are rare enough that
+        // the grouped path below (copy + sort) almost never runs.
+        bool has_duplicates = false;
+        for (std::size_t i = 0; i + 1 < sample_buffer_.size(); ++i) {
+            for (std::size_t j = i + 1; j < sample_buffer_.size(); ++j) {
+                has_duplicates |= sample_buffer_[i] == sample_buffer_[j];
+            }
+        }
+        if (!has_duplicates) {
+            for (const std::uint32_t bin : sample_buffer_) {
+                slot_bin_[pos] = bin;
+                slot_occ_[pos] = 1;
+                slot_key_[pos] = static_cast<std::uint64_t>(gen_());
+                ++pos;
+            }
+        } else {
+            sorted_samples_.assign(sample_buffer_.begin(),
+                                   sample_buffer_.end());
+            std::sort(sorted_samples_.begin(), sorted_samples_.end());
+            for (std::size_t i = 0; i < sorted_samples_.size();) {
+                const std::uint32_t bin = sorted_samples_[i];
+                std::uint32_t occurrence = 0;
+                for (; i < sorted_samples_.size() && sorted_samples_[i] == bin;
+                     ++i) {
+                    ++occurrence;
+                    slot_bin_[pos] = bin;
+                    slot_occ_[pos] = occurrence;
+                    slot_key_[pos] = static_cast<std::uint64_t>(gen_());
+                    ++pos;
+                }
+            }
+        }
+    }
+}
+
+void sharded_kd_process::bucket_by_shard(std::uint64_t slots) {
+    // Stable counting sort of the chunk's slots by owning shard; the pair
+    // encoding (bin << 32 | slot) lets the per-shard sort in gather_shard
+    // order by bin with slot (time) order preserved inside each bin.
+    std::fill(shard_counts_.begin(), shard_counts_.end(), 0);
+    for (std::uint64_t idx = 0; idx < slots; ++idx) {
+        ++shard_counts_[layout_.shard_of(slot_bin_[idx])];
+    }
+    bucket_start_[0] = 0;
+    for (std::uint64_t s = 0; s < layout_.shards(); ++s) {
+        bucket_start_[s + 1] = bucket_start_[s] + shard_counts_[s];
+    }
+    std::copy(bucket_start_.begin(), bucket_start_.end() - 1,
+              shard_counts_.begin()); // reuse as write cursors
+    for (std::uint64_t idx = 0; idx < slots; ++idx) {
+        const std::uint32_t bin = slot_bin_[idx];
+        const std::uint64_t s = layout_.shard_of(bin);
+        bucket_[shard_counts_[s]++] =
+            (static_cast<std::uint64_t>(bin) << 32) | idx;
+    }
+}
+
+void sharded_kd_process::gather_shard(std::uint64_t shard) {
+    // Everything this phase touches is shard-local: the bucket slice, the
+    // shard's stripes of loads_ and first_slot_, its conflict list — plus
+    // scattered writes into probe_load_ (stores overlap; the latency-bound
+    // random READS of the serial kernel are what this pipeline removes).
+    // Conflict detection is one linear pass over the slice: a bin's first
+    // probe parks its slot index in first_slot_; a second probe upgrades
+    // both to conflicted and records the bin once.
+    auto& list = conflicts_[shard];
+    list.clear();
+    for (std::uint64_t pos = bucket_start_[shard];
+         pos < bucket_start_[shard + 1]; ++pos) {
+        const std::uint64_t pair = bucket_[pos];
+        const auto bin = static_cast<std::uint32_t>(pair >> 32);
+        const auto idx = static_cast<std::uint32_t>(pair);
+        const std::uint32_t base = loads_[bin];
+        KD_EXPECTS_MSG(base < conflict_flag, "bin load exceeds 2^31 - 1");
+        const std::uint32_t seen = first_slot_[bin];
+        if (seen == slot_unseen) {
+            first_slot_[bin] = idx;
+            probe_load_[idx] = base;
+        } else {
+            if (seen != slot_conflicted) {
+                probe_load_[seen] |= conflict_flag;
+                list.emplace_back(bin, base);
+                first_slot_[bin] = slot_conflicted;
+            }
+            probe_load_[idx] = base | conflict_flag;
+        }
+    }
+}
+
+void sharded_kd_process::select_rounds(std::uint64_t rounds) {
+    // One serial sweep in round order — the only phase that sees live
+    // intra-chunk loads, and only through the overlay (conflicted bins).
+    // Slot construction order, heights and comparator match place_round,
+    // so nth_element keeps the identical k slots; the serial kernel's
+    // final sort of the kept prefix only orders commits (+1 each), which
+    // the flag representation makes irrelevant.
+    const auto by_height_then_key = [](const slot_candidate& a,
+                                       const slot_candidate& b) {
+        if (a.height != b.height) {
+            return a.height < b.height;
+        }
+        return a.tie_key < b.tie_key;
+    };
+    for (std::uint64_t round = 0; round < rounds; ++round) {
+        const std::uint64_t first = round * d_;
+        for (std::uint64_t j = 0; j < d_; ++j) {
+            const std::uint64_t idx = first + j;
+            const std::uint32_t gathered = probe_load_[idx];
+            std::uint32_t* live = nullptr;
+            std::uint32_t base = gathered;
+            if ((gathered & conflict_flag) != 0) {
+                live = overlay_.find(slot_bin_[idx]);
+                base = *live;
+            }
+            round_vals_[j] = live; // one hash probe per slot, reused below
+            round_slots_[j] = slot_candidate{base + slot_occ_[idx],
+                                             slot_key_[idx],
+                                             static_cast<std::uint32_t>(j)};
+        }
+        std::nth_element(round_slots_.begin(),
+                         round_slots_.begin() +
+                             static_cast<std::ptrdiff_t>(k_ - 1),
+                         round_slots_.end(), by_height_then_key);
+        for (std::uint64_t i = 0; i < k_; ++i) {
+            const std::uint32_t j = round_slots_[i].slot;
+            kept_[first + j] = 1;
+            if (round_vals_[j] != nullptr) {
+                *round_vals_[j] += 1;
+            }
+        }
+    }
+}
+
+void sharded_kd_process::commit_shard(std::uint64_t shard) {
+    // The same cache window as gather_shard, with +1 commits whose order
+    // cannot matter; resetting first_slot_ here (every probed bin appears
+    // in this slice) readies the detector for the next chunk for free.
+    for (std::uint64_t pos = bucket_start_[shard];
+         pos < bucket_start_[shard + 1]; ++pos) {
+        const std::uint64_t pair = bucket_[pos];
+        const auto bin = static_cast<std::uint32_t>(pair >> 32);
+        loads_[bin] += kept_[static_cast<std::uint32_t>(pair)];
+        first_slot_[bin] = slot_unseen;
+    }
+}
+
+void sharded_kd_process::for_each_shard_parallel(
+    void (sharded_kd_process::*phase)(std::uint64_t)) {
+    const std::uint64_t shard_count = layout_.shards();
+    if (pool_ != nullptr && shard_count > 1) {
+        pool_->run_phase(static_cast<std::size_t>(shard_count),
+                         [this, phase](std::size_t s) { (this->*phase)(s); });
+    } else {
+        for (std::uint64_t s = 0; s < shard_count; ++s) {
+            (this->*phase)(s);
+        }
+    }
+}
+
+void sharded_kd_process::conflict_table::rebuild(std::size_t entries) {
+    std::size_t capacity = 16;
+    while (capacity < entries * 2) {
+        capacity <<= 1;
+    }
+    keys.assign(capacity, empty_key);
+    vals.assign(capacity, 0);
+    mask = capacity - 1;
+}
+
+void sharded_kd_process::conflict_table::insert(std::uint32_t bin,
+                                                std::uint32_t load) {
+    std::uint64_t h =
+        (static_cast<std::uint64_t>(bin) * 0x9E3779B97F4A7C15ull >> 32) &
+        mask;
+    while (keys[h] != empty_key) {
+        h = (h + 1) & mask;
+    }
+    keys[h] = bin;
+    vals[h] = load;
+}
+
+std::uint32_t* sharded_kd_process::conflict_table::find(std::uint32_t bin) {
+    // Callers only look up bins inserted this chunk, so the probe chain
+    // always terminates at the key (never at an empty slot).
+    std::uint64_t h =
+        (static_cast<std::uint64_t>(bin) * 0x9E3779B97F4A7C15ull >> 32) &
+        mask;
+    while (keys[h] != bin) {
+        h = (h + 1) & mask;
+    }
+    return &vals[h];
+}
+
+// ---------------------------------------------------------------------------
+// sharded_kd_level_process
+// ---------------------------------------------------------------------------
+
+sharded_kd_level_process::sharded_kd_level_process(std::uint64_t n,
+                                                   std::uint64_t k,
+                                                   std::uint64_t d,
+                                                   std::uint64_t seed,
+                                                   std::uint64_t shards)
+    : sharded_kd_level_process(level_profile(n), k, d, seed, shards) {}
+
+sharded_kd_level_process::sharded_kd_level_process(level_profile initial,
+                                                   std::uint64_t k,
+                                                   std::uint64_t d,
+                                                   std::uint64_t seed,
+                                                   std::uint64_t shards)
+    : profile_(std::move(initial)),
+      shard_profiles_(split_profile(
+          profile_, resolve_shard_count(profile_.n(), shards))),
+      k_(k), d_(d), gen_(seed), probe_draws_(profile_.n()) {
+    KD_EXPECTS_MSG(k >= 1, "k must be positive");
+    KD_EXPECTS_MSG(k < d, "(k,d)-choice requires k < d");
+    KD_EXPECTS_MSG(d <= profile_.n(), "cannot probe more bins than exist");
+    distinct_.reserve(d);
+    slots_.reserve(d);
+    kept_per_probe_.reserve(d);
+}
+
+void sharded_kd_level_process::run_round() {
+    // Authoritative replay of kd_choice_level_process::run_round on the
+    // global profile (identical draws, ranks and selection), with the S
+    // shard profiles maintained in lockstep: every fresh probe extracts a
+    // bin from the lowest-indexed shard holding one at the probed level
+    // and reinserts into that same shard post-round — a pure function of
+    // the tape, so the partition never depends on scheduling.
+    profile_.ensure_levels(profile_.max_level() + d_ + 1);
+
+    distinct_.clear();
+    for (std::uint64_t probe = 0; probe < d_; ++probe) {
+        const std::uint64_t v = probe_draws_.next(gen_);
+        const auto j = static_cast<std::uint64_t>(distinct_.size());
+        if (v < j) {
+            ++distinct_[static_cast<std::size_t>(v)].multiplicity;
+        } else {
+            const std::uint64_t level = profile_.level_at_rank(v - j);
+            profile_.extract_bin(level);
+            std::uint32_t shard = 0;
+            while (shard_profiles_[shard].bins_at(level) == 0) {
+                ++shard; // terminates: the shard counts sum to the global
+            }
+            shard_profiles_[shard].extract_bin(level);
+            distinct_.push_back({level, 1, shard});
+        }
+    }
+
+    slots_.clear();
+    for (std::uint32_t t = 0; t < distinct_.size(); ++t) {
+        const auto& probe = distinct_[t];
+        for (std::uint32_t occurrence = 1; occurrence <= probe.multiplicity;
+             ++occurrence) {
+            slots_.push_back(slot{probe.level + occurrence,
+                                  static_cast<std::uint64_t>(gen_()), t});
+        }
+    }
+    if (k_ < slots_.size()) {
+        std::nth_element(
+            slots_.begin(),
+            slots_.begin() + static_cast<std::ptrdiff_t>(k_ - 1), slots_.end(),
+            [](const slot& a, const slot& b) {
+                if (a.height != b.height) {
+                    return a.height < b.height;
+                }
+                return a.tie_key < b.tie_key;
+            });
+    }
+
+    kept_per_probe_.assign(distinct_.size(), 0);
+    for (std::size_t i = 0; i < k_; ++i) {
+        ++kept_per_probe_[slots_[i].probe];
+    }
+    for (std::uint32_t t = 0; t < distinct_.size(); ++t) {
+        const std::uint64_t target = distinct_[t].level + kept_per_probe_[t];
+        profile_.insert_bin(target);
+        auto& shard = shard_profiles_[distinct_[t].shard];
+        shard.ensure_levels(target + 1);
+        shard.insert_bin(target);
+    }
+
+    balls_placed_ += k_;
+    rounds_run_ += 1;
+    messages_ += d_;
+}
+
+void sharded_kd_level_process::run_balls(std::uint64_t balls) {
+    KD_EXPECTS_MSG(balls % k_ == 0,
+                   "balls must be a multiple of k (whole rounds)");
+    for (std::uint64_t placed = 0; placed < balls; placed += k_) {
+        run_round();
+    }
+}
+
+} // namespace kdc::core

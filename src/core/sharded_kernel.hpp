@@ -1,0 +1,379 @@
+// Sharded round-parallel (k,d)-choice kernels: one REPETITION executed as a
+// sequence of chunked, shard-partitioned phases, with output byte-identical
+// to the serial kernels at every thread count and shard count.
+//
+// The serial per-bin kernel (core/process.hpp) spends its time on random
+// DRAM accesses: every probe reads loads[bin] at an i.u.r. index of an
+// array far larger than any cache. The sharded kernel replays the EXACT
+// same random tape (probe indices and tie keys, drawn in the serial
+// kernel's order) but restructures the memory traffic:
+//
+//   phase A  (serial)    pregenerate the tape for a chunk of rounds:
+//                        per slot its bin, occurrence index and tie key,
+//                        in kd_choice_process's exact RNG call order;
+//   bucket   (serial)    counting-sort the chunk's slots into S contiguous
+//                        bin shards (stable, so time order survives);
+//   phase B  (parallel)  per shard: gather each slot's chunk-start load
+//                        from the shard's bin window — a cache-resident
+//                        window instead of random DRAM — and detect
+//                        CONFLICTED bins (probed by >= 2 slots) with a
+//                        first-slot-seen window array (no sorting);
+//   phase C  (serial)    one sweep over the rounds in order: slot heights
+//                        come from the gathered loads, except conflicted
+//                        bins, which read a small hash overlay that is
+//                        updated with each round's commits — exactly the
+//                        live loads the serial kernel would have seen;
+//                        nth_element selection identical to place_round;
+//   phase E  (parallel)  per shard: commit the kept flags back into the
+//                        load vector, again over the shard's window.
+//
+// Exactness: a non-conflicted bin is probed by exactly one round of the
+// chunk, so its load is the chunk-start load for that round's whole
+// selection (same-round multiplicity is the occurrence index, as in
+// place_round). A conflicted bin's overlay entry starts at the chunk-start
+// load and gains every kept ball in round order during the phase-C sweep,
+// so round r reads chunk-start + (commits of rounds < r) — the serial
+// value. Commits are +1 sums, so the phase-E order is irrelevant. The tape
+// itself is drawn serially from the same generator state as the serial
+// kernel. Hence loads() after every chunk — and therefore after the run —
+// equals kd_choice_process::loads() bit for bit, regardless of the shard
+// count or how many pool workers execute phases B and E.
+//
+// The level-kernel counterpart (sharded_kd_level_process) partitions the
+// level profile itself into S shard profiles kept in deterministic
+// lockstep with an authoritative serial replay; see the class comment.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/level_profile.hpp"
+#include "core/types.hpp"
+#include "rng/sampling.hpp"
+#include "rng/xoshiro256ss.hpp"
+#include "support/contracts.hpp"
+
+namespace kdc::core {
+
+class thread_pool;
+
+/// 128-bit scratch type for the multiply-high in shard_layout::shard_of
+/// (__extension__ keeps -Wpedantic quiet about the GCC/Clang builtin).
+__extension__ using kd_uint128 = unsigned __int128;
+
+/// Resolves a user-facing shard-count request against n bins: 0 means
+/// "auto" (one shard per ~32k bins, so a shard's load window stays
+/// cache-resident; at least 1, at most 4096), anything else is clamped into
+/// [1, min(n, 4096)].
+[[nodiscard]] std::uint64_t resolve_shard_count(std::uint64_t n,
+                                                std::uint64_t requested);
+
+/// Deterministic partition of [0, n) bins into `shards` contiguous ranges:
+/// shard s holds floor(n/S) bins, +1 for the first n mod S shards — the
+/// same dealing rule as split_profile (core/level_profile.hpp), so the two
+/// kernels shard identically. O(1) shard_of. Requires 1 <= shards <= n.
+class shard_layout {
+public:
+    shard_layout(std::uint64_t n, std::uint64_t shards)
+        : n_(n), shards_(shards), base_(n / shards), extra_(n % shards),
+          // ceil(2^64 * S / n) makes floor(bin * mul_ / 2^64) land within
+          // one shard of the true owner; shard_of fixes the off-by-one.
+          // One division here buys a division-free per-probe hot path.
+          // (S == n would need 2^64 itself; saturating keeps the guess
+          // within one step, which the fixup loops absorb.)
+          mul_(shards >= n
+                   ? ~std::uint64_t{0}
+                   : static_cast<std::uint64_t>(
+                         ((static_cast<kd_uint128>(shards) << 64) +
+                          n - 1) /
+                         n)) {
+        KD_EXPECTS_MSG(shards >= 1 && shards <= n,
+                       "shard_layout needs 1 <= shards <= n");
+    }
+
+    [[nodiscard]] std::uint64_t n() const noexcept { return n_; }
+    [[nodiscard]] std::uint64_t shards() const noexcept { return shards_; }
+
+    /// First bin of shard s.
+    [[nodiscard]] std::uint64_t begin(std::uint64_t s) const noexcept {
+        return s * base_ + std::min(s, extra_);
+    }
+    /// One past the last bin of shard s.
+    [[nodiscard]] std::uint64_t end(std::uint64_t s) const noexcept {
+        return begin(s + 1);
+    }
+    [[nodiscard]] std::uint64_t size(std::uint64_t s) const noexcept {
+        return base_ + (s < extra_ ? 1 : 0);
+    }
+
+    /// The shard owning `bin` (inverse of begin/end). Division-free: a
+    /// multiply-high guess corrected by at most one begin/end comparison —
+    /// this sits on the kernel's per-probe bucketing path.
+    [[nodiscard]] std::uint64_t shard_of(std::uint64_t bin) const noexcept {
+        std::uint64_t s = static_cast<std::uint64_t>(
+            (static_cast<kd_uint128>(bin) * mul_) >> 64);
+        while (bin < begin(s)) {
+            --s;
+        }
+        while (bin >= end(s)) {
+            ++s;
+        }
+        return s;
+    }
+
+private:
+    std::uint64_t n_;
+    std::uint64_t shards_;
+    std::uint64_t base_;
+    std::uint64_t extra_;
+    std::uint64_t mul_;
+};
+
+/// Read-only shard-partitioned view of a load vector: shard_span(s) is the
+/// contiguous slice of loads owned by shard s under a shard_layout. The
+/// view borrows both the vector and the layout — keep them alive.
+class sharded_loads {
+public:
+    sharded_loads(const load_vector& loads, const shard_layout& layout)
+        : loads_(&loads), layout_(&layout) {
+        KD_EXPECTS_MSG(loads.size() == layout.n(),
+                       "layout and load vector disagree on n");
+    }
+
+    [[nodiscard]] const shard_layout& layout() const noexcept {
+        return *layout_;
+    }
+    [[nodiscard]] std::span<const bin_load>
+    shard_span(std::uint64_t s) const {
+        return std::span<const bin_load>(*loads_).subspan(
+            layout_->begin(s), layout_->size(s));
+    }
+
+private:
+    const load_vector* loads_;
+    const shard_layout* layout_;
+};
+
+/// The (k,d)-choice process on per-bin state, executed by the sharded
+/// round-parallel pipeline described at the top of this header. Output is
+/// byte-identical to kd_choice_process with the same (n, k, d, seed) in
+/// with-replacement probe mode, for every shard count and thread count.
+///
+/// use_pool(&pool) runs phases B and E across the pool's workers via
+/// thread_pool::run_phase; with no pool (the default) every phase runs
+/// inline on the calling thread — the chunked, shard-local memory schedule
+/// alone beats the serial kernel's random-access walk on large n.
+/// Requires 1 <= k < d <= n.
+class sharded_kd_process {
+public:
+    /// `shards` as in resolve_shard_count (0 = auto).
+    sharded_kd_process(std::uint64_t n, std::uint64_t k, std::uint64_t d,
+                       std::uint64_t seed, std::uint64_t shards = 0);
+
+    /// Starts from an existing load vector (snapshot resume, heavily
+    /// loaded starts). balls_placed()/messages() count only
+    /// post-construction activity.
+    sharded_kd_process(load_vector initial_loads, std::uint64_t k,
+                       std::uint64_t d, std::uint64_t seed,
+                       std::uint64_t shards = 0);
+
+    /// Runs phases B and E on `pool` (nullptr reverts to inline execution).
+    /// The pool is borrowed, not owned; output does not depend on it.
+    void use_pool(thread_pool* pool) noexcept { pool_ = pool; }
+
+    /// Places `balls` balls (must be a multiple of k: whole rounds).
+    void run_balls(std::uint64_t balls);
+
+    [[nodiscard]] const load_vector& loads() const noexcept { return loads_; }
+    [[nodiscard]] std::uint64_t balls_placed() const noexcept {
+        return balls_placed_;
+    }
+    [[nodiscard]] std::uint64_t rounds_run() const noexcept {
+        return rounds_run_;
+    }
+    /// Probe messages issued so far: d per round (footnote 1 of the paper).
+    [[nodiscard]] std::uint64_t messages() const noexcept { return messages_; }
+
+    [[nodiscard]] std::uint64_t n() const noexcept { return loads_.size(); }
+    [[nodiscard]] std::uint64_t k() const noexcept { return k_; }
+    [[nodiscard]] std::uint64_t d() const noexcept { return d_; }
+    [[nodiscard]] std::uint64_t shard_count() const noexcept {
+        return layout_.shards();
+    }
+    [[nodiscard]] const shard_layout& layout() const noexcept {
+        return layout_;
+    }
+
+private:
+    /// Minimal open-addressing map bin -> live load for the chunk's
+    /// conflicted bins (expected |C|^2 / 2n entries for C probes — small).
+    struct conflict_table {
+        std::vector<std::uint32_t> keys;   // empty_key = no entry
+        std::vector<std::uint32_t> vals;
+        std::uint64_t mask = 0;
+        static constexpr std::uint32_t empty_key = 0xFFFFFFFFu;
+
+        void rebuild(std::size_t entries);
+        void insert(std::uint32_t bin, std::uint32_t load);
+        [[nodiscard]] std::uint32_t* find(std::uint32_t bin);
+    };
+
+    void run_chunk(std::uint64_t rounds);
+    void pregenerate_tape(std::uint64_t rounds);
+    void bucket_by_shard(std::uint64_t slots);
+    void gather_shard(std::uint64_t shard);
+    void select_rounds(std::uint64_t rounds);
+    void commit_shard(std::uint64_t shard);
+    void for_each_shard_parallel(void (sharded_kd_process::*phase)(
+        std::uint64_t));
+
+    load_vector loads_;
+    std::uint64_t k_;
+    std::uint64_t d_;
+    shard_layout layout_;
+    std::uint64_t balls_placed_ = 0;
+    std::uint64_t rounds_run_ = 0;
+    std::uint64_t messages_ = 0;
+    thread_pool* pool_ = nullptr;
+
+    rng::xoshiro256ss gen_;
+    rng::batched_uniform probe_draws_; // bound n, batched — the serial tape
+
+    std::uint64_t max_chunk_rounds_ = 1;
+
+    // Chunk tape, indexed by slot = round * d + j in construction order.
+    std::vector<std::uint32_t> slot_bin_;
+    std::vector<std::uint32_t> slot_occ_;
+    std::vector<std::uint64_t> slot_key_;
+    /// Chunk-start load per slot; bit 31 flags a conflicted bin.
+    std::vector<std::uint32_t> probe_load_;
+    std::vector<std::uint8_t> kept_;
+
+    // Shard bucketing: (bin << 32 | slot) pairs grouped by shard, in tape
+    // (time) order within each shard.
+    std::vector<std::uint64_t> bucket_;
+    std::vector<std::uint64_t> bucket_start_; // S + 1 prefix offsets
+    std::vector<std::uint64_t> shard_counts_;
+
+    /// Per-bin conflict detector for the gather pass: slot index of the
+    /// bin's first probe this chunk, or one of the two sentinels. Reset to
+    /// `unseen` by commit_shard (which touches the same bins), so no
+    /// chunk-epoch bookkeeping is needed. Accessed only within a shard's
+    /// bin window — the same cache-resident stripe as loads_.
+    std::vector<std::uint32_t> first_slot_;
+    static constexpr std::uint32_t slot_unseen = 0xFFFFFFFFu;
+    static constexpr std::uint32_t slot_conflicted = 0xFFFFFFFEu;
+
+    /// Per-shard (bin, chunk-start load) lists of conflicted bins, merged
+    /// into the overlay table before the selection sweep.
+    std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>>
+        conflicts_;
+    conflict_table overlay_;
+
+    // Phase A/C scratch.
+    std::vector<std::uint32_t> sample_buffer_;
+    std::vector<std::uint32_t> sorted_samples_;
+    struct slot_candidate {
+        std::uint32_t height = 0;
+        std::uint64_t tie_key = 0;
+        std::uint32_t slot = 0;
+    };
+    std::vector<slot_candidate> round_slots_;
+    /// Overlay value pointer per probe of the current round (null when the
+    /// bin is unconflicted), filled by the candidate sweep so the kept
+    /// loop commits without a second hash lookup. Stable for the duration
+    /// of a chunk: the overlay never rehashes after its build phase.
+    std::vector<std::uint32_t*> round_vals_;
+};
+
+/// The (k,d)-choice process on level-compressed state with the profile
+/// partitioned into S shard profiles (split_profile) maintained in
+/// deterministic lockstep with an authoritative replay of
+/// kd_choice_level_process: profile() is byte-identical to the serial
+/// level kernel at every shard and thread count, and
+/// merge_profiles(shard_profiles()) == profile() holds as an invariant.
+///
+/// Each fresh probe extracts a bin from the LOWEST-indexed shard with a
+/// bin at the probed level and reinserts it into the same shard at its
+/// post-round level — a pure function of the tape, so the shard partition
+/// is schedule-independent. The per-round dependency through the Fenwick
+/// ranks is inherently serial (every draw conditions on the exact current
+/// profile), so this kernel runs its rounds on the calling thread;
+/// use_pool is accepted for interface parity and future cross-shard
+/// phases, and the sharded state is what snapshot partitioning and the
+/// scenario grammar's shards= key operate on. Requires 1 <= k < d <= n.
+class sharded_kd_level_process {
+public:
+    sharded_kd_level_process(std::uint64_t n, std::uint64_t k,
+                             std::uint64_t d, std::uint64_t seed,
+                             std::uint64_t shards = 0);
+
+    /// Starts from an existing profile (snapshot resume); the shard
+    /// profiles are re-derived via split_profile.
+    sharded_kd_level_process(level_profile initial, std::uint64_t k,
+                             std::uint64_t d, std::uint64_t seed,
+                             std::uint64_t shards = 0);
+
+    /// Accepted for interface parity with sharded_kd_process; rounds run
+    /// on the calling thread (see the class comment).
+    void use_pool(thread_pool* pool) noexcept { pool_ = pool; }
+
+    /// Places `balls` balls (must be a multiple of k: whole rounds).
+    void run_balls(std::uint64_t balls);
+
+    [[nodiscard]] const level_profile& profile() const noexcept {
+        return profile_;
+    }
+    /// The S shard profiles; merge_profiles over them equals profile().
+    [[nodiscard]] const std::vector<level_profile>&
+    shard_profiles() const noexcept {
+        return shard_profiles_;
+    }
+    [[nodiscard]] std::uint64_t balls_placed() const noexcept {
+        return balls_placed_;
+    }
+    [[nodiscard]] std::uint64_t rounds_run() const noexcept {
+        return rounds_run_;
+    }
+    [[nodiscard]] std::uint64_t messages() const noexcept { return messages_; }
+
+    [[nodiscard]] std::uint64_t n() const noexcept { return profile_.n(); }
+    [[nodiscard]] std::uint64_t k() const noexcept { return k_; }
+    [[nodiscard]] std::uint64_t d() const noexcept { return d_; }
+    [[nodiscard]] std::uint64_t shard_count() const noexcept {
+        return shard_profiles_.size();
+    }
+
+private:
+    void run_round();
+
+    struct distinct_probe {
+        std::uint64_t level = 0;
+        std::uint32_t multiplicity = 0;
+        std::uint32_t shard = 0;
+    };
+    struct slot {
+        std::uint64_t height = 0;
+        std::uint64_t tie_key = 0;
+        std::uint32_t probe = 0;
+    };
+
+    level_profile profile_;
+    std::vector<level_profile> shard_profiles_;
+    std::uint64_t k_;
+    std::uint64_t d_;
+    std::uint64_t balls_placed_ = 0;
+    std::uint64_t rounds_run_ = 0;
+    std::uint64_t messages_ = 0;
+    thread_pool* pool_ = nullptr;
+    std::vector<distinct_probe> distinct_;
+    std::vector<slot> slots_;
+    std::vector<std::uint32_t> kept_per_probe_;
+    rng::xoshiro256ss gen_;
+    rng::batched_uniform probe_draws_; // bound n, batched
+};
+
+} // namespace kdc::core

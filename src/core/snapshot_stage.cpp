@@ -1,0 +1,107 @@
+#include "core/snapshot_stage.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <string>
+#include <utility>
+
+#include "core/level_process.hpp"
+#include "core/sharded_kernel.hpp"
+#include "rng/splitmix64.hpp"
+#include "support/cli.hpp"
+
+namespace kdc::core {
+
+namespace {
+
+level_profile load_snapshot(const std::string& path, std::uint64_t n) {
+    std::ifstream in(path);
+    if (!in) {
+        throw cli_error("--resume: cannot open snapshot file '" + path + "'");
+    }
+    level_profile profile = level_profile::load(in);
+    if (profile.n() != n) {
+        throw cli_error("--resume: snapshot '" + path + "' holds " +
+                        std::to_string(profile.n()) +
+                        " bins but the scenario asks for n=" +
+                        std::to_string(n));
+    }
+    return profile;
+}
+
+void save_snapshot(const std::string& path, const level_profile& profile) {
+    std::ofstream out(path);
+    if (!out) {
+        throw cli_error("--snapshot-out: cannot open '" + path +
+                        "' for writing");
+    }
+    profile.save(out);
+}
+
+void print_profile_line(std::ostream& out, const char* label,
+                        const level_profile& profile) {
+    const auto metrics = profile.metrics();
+    out << label << " n=" << profile.n()
+        << " total_balls=" << profile.total_balls()
+        << " max_load=" << metrics.max_load << " gap=" << metrics.gap
+        << '\n';
+}
+
+} // namespace
+
+bool run_snapshot_stage(const arg_parser& args, const scenario& sc,
+                        std::uint64_t seed, std::ostream& out) {
+    const std::string snapshot_out = args.get_string("snapshot-out");
+    const std::string resume = args.get_string("resume");
+    if (snapshot_out.empty() && resume.empty()) {
+        return false;
+    }
+
+    validate_scenario(sc);
+    if (resolve_kernel(sc) != kernel_kind::level) {
+        throw cli_error("snapshot staging persists level profiles; the "
+                        "scenario must resolve to kernel=level (use "
+                        "kernel=level or kernel=auto with a level-capable "
+                        "policy)");
+    }
+    if (resolved_policy(sc) != "kd" || sc.d < 2) {
+        throw cli_error("snapshot staging supports the 'kd' family with "
+                        "d >= 2, got policy '" + resolved_policy(sc) + "'");
+    }
+
+    level_profile initial = resume.empty() ? level_profile(sc.n)
+                                           : load_snapshot(resume, sc.n);
+    const std::uint64_t balls = resolved_balls(sc);
+    const std::uint64_t derived = rng::derive_seed(seed, 0);
+
+    out << "snapshot-stage scenario=" << to_string(sc) << " seed=" << seed
+        << " balls=" << balls << '\n';
+    if (!resume.empty()) {
+        print_profile_line(out, "resumed", initial);
+    }
+
+    // Each stage is its own independently seeded process over the evolving
+    // profile; par=round swaps in the sharded level kernel (identical
+    // profile output — its contract).
+    level_profile final_profile = [&] {
+        if (sc.par == par_mode::round) {
+            sharded_kd_level_process process(std::move(initial), sc.k, sc.d,
+                                             derived, sc.shards);
+            process.run_balls(balls);
+            return process.profile();
+        }
+        kd_choice_level_process process(std::move(initial), sc.k, sc.d,
+                                        derived);
+        process.run_balls(balls);
+        return process.profile();
+    }();
+
+    print_profile_line(out, "final", final_profile);
+    if (!snapshot_out.empty()) {
+        save_snapshot(snapshot_out, final_profile);
+        out << "snapshot written to " << snapshot_out << '\n';
+    }
+    return true;
+}
+
+} // namespace kdc::core

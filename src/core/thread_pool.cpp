@@ -61,6 +61,74 @@ void thread_pool::wait_idle() {
     all_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
+namespace {
+
+/// Shared state of one run_phase call. Held by shared_ptr: helper jobs that
+/// only get scheduled after the phase has completed (the caller does not
+/// wait for them) find no indices left and just drop their reference.
+struct phase_state {
+    std::atomic<std::size_t> next{0};      // next unclaimed index
+    std::size_t count = 0;
+    std::mutex mutex;                      // guards completed + cv
+    std::condition_variable all_complete;
+    std::size_t completed = 0;
+};
+
+/// Claims and executes indices until none are left; returns how many this
+/// participant finished.
+std::size_t drain_phase(phase_state& state,
+                        const std::function<void(std::size_t)>& body) {
+    std::size_t finished = 0;
+    for (;;) {
+        const std::size_t index =
+            state.next.fetch_add(1, std::memory_order_relaxed);
+        if (index >= state.count) {
+            return finished;
+        }
+        body(index);
+        ++finished;
+    }
+}
+
+void record_finished(phase_state& state, std::size_t finished) {
+    if (finished == 0) {
+        return;
+    }
+    const std::lock_guard<std::mutex> lock(state.mutex);
+    state.completed += finished;
+    if (state.completed == state.count) {
+        state.all_complete.notify_all();
+    }
+}
+
+} // namespace
+
+void thread_pool::run_phase(std::size_t count,
+                            const std::function<void(std::size_t)>& body) {
+    if (count == 0) {
+        return;
+    }
+    auto state = std::make_shared<phase_state>();
+    state->count = count;
+    // At most one helper per worker beyond the caller; each helper loops
+    // over the shared index counter, so a single helper suffices for
+    // correctness and the rest only add parallelism.
+    const std::size_t helpers =
+        std::min<std::size_t>(workers_.size(), count > 1 ? count - 1 : 0);
+    for (std::size_t i = 0; i < helpers; ++i) {
+        submit([state, &body] {
+            // `body` stays alive until the caller returns, and the caller
+            // cannot return before every index is finished — any helper
+            // still inside drain_phase holds an unfinished index.
+            record_finished(*state, drain_phase(*state, body));
+        });
+    }
+    record_finished(*state, drain_phase(*state, body));
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->all_complete.wait(lock,
+                             [&] { return state->completed == state->count; });
+}
+
 bool thread_pool::try_pop_front(std::size_t queue_index,
                                 std::function<void()>& job) {
     auto& dq = *deques_[queue_index];

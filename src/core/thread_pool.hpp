@@ -48,6 +48,20 @@ public:
     /// Blocks until every submitted job has finished executing.
     void wait_idle();
 
+    /// Runs body(0), body(1), ..., body(count - 1) across the pool and
+    /// returns when ALL of them have finished — the barrier primitive behind
+    /// the sharded round-parallel kernel's phases (core/sharded_kernel.hpp).
+    ///
+    /// The calling thread PARTICIPATES: it claims indices like any worker,
+    /// so run_phase makes progress even when every worker is busy with other
+    /// jobs, and is therefore safe to call from inside a running job (unlike
+    /// wait_idle). Indices are claimed dynamically in an unspecified order;
+    /// bodies must write to disjoint state per index (the sharded kernel's
+    /// phases do) and must not throw. Nested run_phase calls from inside a
+    /// body are not supported.
+    void run_phase(std::size_t count,
+                   const std::function<void(std::size_t)>& body);
+
     [[nodiscard]] unsigned size() const noexcept {
         return static_cast<unsigned>(workers_.size());
     }

@@ -66,6 +66,18 @@ void arg_parser::add_scenario_option() {
                "(see core/scenario.hpp for the grammar)");
 }
 
+void arg_parser::add_snapshot_options() {
+    add_option("snapshot-out", "",
+               "write the run's final level profile to this file "
+               "(core/level_profile.hpp text format) — O(max-load) bytes, "
+               "so billion-bin runs stay resumable; requires the level "
+               "kernel");
+    add_option("resume", "",
+               "start from the level-profile snapshot in this file instead "
+               "of empty bins (pairs with --snapshot-out for staged heavy "
+               "runs); requires the level kernel");
+}
+
 unsigned arg_parser::get_threads() const {
     const std::int64_t value = get_int("threads");
     if (value < 0 ||

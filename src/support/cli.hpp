@@ -57,6 +57,13 @@ public:
     /// cross-option constraints.
     void add_adaptive_options();
 
+    /// Declares the standard snapshot options of the heavy benches:
+    /// `--snapshot-out` (write the run's final level profile to a file)
+    /// and `--resume` (start from a previously written profile instead of
+    /// empty bins). core::run_snapshot_stage (core/snapshot_stage.hpp)
+    /// consumes them.
+    void add_snapshot_options();
+
     /// Declares the standard `--scenario` option: one declarative string
     /// ("kd:n=1e6,k=2,d=4,kernel=auto") that overrides the binary's legacy
     /// flags key by key. Parsed and merged by core::scenario_from_cli

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -15,6 +16,7 @@
 #include "core/runner.hpp"
 #include "core/scenario.hpp"
 #include "core/sweep.hpp"
+#include "core/thread_pool.hpp"
 #include "core/weighted.hpp"
 #include "rng/splitmix64.hpp"
 #include "stats/hypothesis.hpp"
@@ -324,4 +326,47 @@ TEST(ScenarioEquivalence, SweepCellMetricFollowsTheScenario) {
     const auto cell = make_scenario_cell("cell", sc, {.reps = 3, .seed = 1});
     EXPECT_EQ(cell.metric, metric_kind::gap);
     EXPECT_EQ(cell.config.balls, 512u); // resolved whole-rounds default
+}
+
+TEST(ScenarioEquivalence, ParRoundMatchesParRepByteForByte) {
+    // par=round swaps the execution strategy, never the numbers: through
+    // the registry, a sharded repetition is byte-identical to the serial
+    // one for both kernels, at every shard count, with or without a pool.
+    for (const char* kernel : {"perbin", "level"}) {
+        const auto serial = parse_scenario(
+            std::string("kd:n=10000,k=3,d=8,kernel=") + kernel);
+        const auto base_rep = run_scenario_repetition(serial, 42, 10'000 * 3);
+        for (const char* shards : {"auto", "1", "4", "64"}) {
+            auto sharded = parse_scenario(
+                std::string("kd:n=10000,k=3,d=8,par=round,kernel=") +
+                kernel + ",shards=" + shards);
+            const auto inline_rep =
+                run_scenario_repetition(sharded, 42, 10'000 * 3);
+            EXPECT_TRUE(same_rep(base_rep, inline_rep))
+                << kernel << " shards=" << shards;
+            for (const unsigned threads : {1u, 2u, 8u}) {
+                thread_pool pool(threads);
+                const auto pooled_rep = run_scenario_repetition(
+                    sharded, 42, 10'000 * 3, &pool);
+                EXPECT_TRUE(same_rep(base_rep, pooled_rep))
+                    << kernel << " shards=" << shards
+                    << " threads=" << threads;
+            }
+        }
+    }
+}
+
+TEST(ScenarioEquivalence, ParRoundExperimentMatchesSerialExperiment) {
+    // Whole experiments (multiple repetitions, rep-order folds) agree too,
+    // on the pool-sharing engine overload.
+    const auto serial = parse_scenario("kd:n=4096,k=2,d=4");
+    auto sharded = parse_scenario("kd:n=4096,k=2,d=4,par=round,shards=8");
+    const experiment_config config{.balls = 8192, .reps = 5, .seed = 9};
+    const auto a = run_scenario_experiment(serial, config);
+    thread_pool pool(4);
+    const auto b = run_scenario_experiment(sharded, config, pool);
+    ASSERT_EQ(a.reps.size(), b.reps.size());
+    for (std::size_t i = 0; i < a.reps.size(); ++i) {
+        EXPECT_TRUE(same_rep(a.reps[i], b.reps[i])) << "rep " << i;
+    }
 }

@@ -269,3 +269,56 @@ TEST(ScenarioCli, AbsentScenarioReturnsTheBaseUntouched) {
     const auto merged = kdc::core::scenario_from_cli(args, base);
     EXPECT_EQ(merged, base); // no parse, no validation, no surprises
 }
+
+TEST(ScenarioParse, ParAndShardsKeys) {
+    // Defaults: serial repetition-level parallelism, auto shard count.
+    const auto plain = parse_scenario("kd:n=1024,k=2,d=4");
+    EXPECT_EQ(plain.par, kdc::core::par_mode::rep);
+    EXPECT_EQ(plain.shards, 0u);
+
+    const auto sharded =
+        parse_scenario("kd:n=1024,k=2,d=4,par=round,shards=64");
+    EXPECT_EQ(sharded.par, kdc::core::par_mode::round);
+    EXPECT_EQ(sharded.shards, 64u);
+
+    EXPECT_EQ(parse_scenario("kd:n=1024,k=2,d=4,shards=auto").shards, 0u);
+    EXPECT_EQ(parse_scenario("kd:n=1024,k=2,d=4,shards=1e3").shards, 1000u);
+    EXPECT_EQ(parse_scenario("kd:n=1024,k=2,d=4,par=rep").par,
+              kdc::core::par_mode::rep);
+}
+
+TEST(ScenarioParse, ParAndShardsRoundTripThroughToString) {
+    for (const char* text :
+         {"kd:n=1024,k=2,d=4,par=round,shards=16",
+          "kd:n=4096,k=8,d=16,par=round",
+          "kd:n=512,k=2,d=4,shards=7"}) {
+        const auto sc = parse_scenario(text);
+        EXPECT_EQ(parse_scenario(kdc::core::to_string(sc)), sc) << text;
+    }
+}
+
+TEST(ScenarioParse, ParAndShardsErrorsArePrecise) {
+    // Bad spellings.
+    EXPECT_NE(parse_error("kd:n=512,k=2,d=4,par=parallel")
+                  .find("par must be 'rep' or 'round'"),
+              std::string::npos);
+    EXPECT_NE(parse_error("kd:n=512,k=2,d=4,shards=0")
+                  .find("'shards' must be 'auto' or a positive count"),
+              std::string::npos);
+
+    // par=round is the sharded (k,d) kernel: only the kd family, only
+    // with-replacement probes.
+    EXPECT_NE(parse_error("single:n=512,par=round").find("'kd' family"),
+              std::string::npos);
+    EXPECT_NE(parse_error("kd:n=512,k=2,d=4,probe=weighted,skew=0.5,"
+                          "par=round")
+                  .find("'kd' family"),
+              std::string::npos);
+    EXPECT_NE(parse_error("kd:n=512,k=2,d=4,replacement=without,par=round")
+                  .find("with-replacement"),
+              std::string::npos);
+
+    // par=rep stays valid for all of those scenarios.
+    EXPECT_EQ(parse_error("kd:n=512,k=2,d=4,replacement=without,par=rep"),
+              "");
+}

@@ -1,0 +1,231 @@
+// The sharded round-parallel kernels' one non-negotiable contract: output
+// byte-identical to the serial kernels at EVERY shard count and EVERY
+// thread count. The equivalence suite here is the machine-checked version
+// of the exactness argument in core/sharded_kernel.hpp.
+#include "core/sharded_kernel.hpp"
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/level_process.hpp"
+#include "core/process.hpp"
+#include "core/thread_pool.hpp"
+
+namespace kdc::core {
+namespace {
+
+TEST(ShardLayout, PartitionsBinsContiguouslyAndExactly) {
+    for (const std::uint64_t n : {1ull, 7ull, 64ull, 1000ull}) {
+        for (std::uint64_t s = 1; s <= n && s <= 9; ++s) {
+            const shard_layout layout(n, s);
+            EXPECT_EQ(layout.begin(0), 0u);
+            EXPECT_EQ(layout.end(s - 1), n);
+            std::uint64_t total = 0;
+            for (std::uint64_t i = 0; i < s; ++i) {
+                EXPECT_EQ(layout.end(i), layout.begin(i) + layout.size(i));
+                if (i + 1 < s) {
+                    EXPECT_EQ(layout.end(i), layout.begin(i + 1));
+                    // Dealing rule: the first n mod S shards get the +1.
+                    EXPECT_GE(layout.size(i), layout.size(i + 1));
+                }
+                total += layout.size(i);
+            }
+            EXPECT_EQ(total, n);
+        }
+    }
+}
+
+TEST(ShardLayout, ShardOfInvertsBeginEnd) {
+    const shard_layout layout(1000, 7);
+    for (std::uint64_t bin = 0; bin < 1000; ++bin) {
+        const auto s = layout.shard_of(bin);
+        EXPECT_GE(bin, layout.begin(s));
+        EXPECT_LT(bin, layout.end(s));
+    }
+}
+
+TEST(ShardedLoadsView, SpansTileTheLoadVector) {
+    load_vector loads(100);
+    std::iota(loads.begin(), loads.end(), 0u);
+    const shard_layout layout(loads.size(), 6);
+    const sharded_loads view(loads, layout);
+    std::uint64_t cursor = 0;
+    for (std::uint64_t s = 0; s < layout.shards(); ++s) {
+        const auto span = view.shard_span(s);
+        ASSERT_EQ(span.size(), layout.size(s));
+        for (const auto value : span) {
+            EXPECT_EQ(value, loads[cursor++]);
+        }
+    }
+    EXPECT_EQ(cursor, loads.size());
+}
+
+TEST(ResolveShardCount, AutoScalesWithBinsAndClampsRequests) {
+    EXPECT_EQ(resolve_shard_count(1000, 0), 1u);       // below one window
+    EXPECT_EQ(resolve_shard_count(1u << 20, 0), 32u);  // n / 32768
+    EXPECT_EQ(resolve_shard_count(1u << 30, 0), 4096u); // capped
+    EXPECT_EQ(resolve_shard_count(1000, 64), 64u);     // explicit honoured
+    EXPECT_EQ(resolve_shard_count(1000, 5000), 1000u); // clamped to n
+    EXPECT_EQ(resolve_shard_count(100000, 100000), 4096u); // global cap
+}
+
+// The tentpole equivalence: sharded == serial, byte for byte, across the
+// full (threads x shards) grid the ISSUE names, for the per-bin kernel.
+TEST(ShardedKernel, PerBinByteIdenticalToSerialAcrossThreadsAndShards) {
+    constexpr std::uint64_t n = 10'000;
+    constexpr std::uint64_t k = 3;
+    constexpr std::uint64_t d = 8;
+    constexpr std::uint64_t seed = 2024;
+    constexpr std::uint64_t balls = 3 * n; // heavily loaded: conflicts galore
+
+    kd_choice_process reference(n, k, d, seed);
+    reference.run_balls(balls);
+
+    for (const unsigned threads : {1u, 2u, 8u}) {
+        thread_pool pool(threads);
+        for (const std::uint64_t shards : {1ull, 4ull, 64ull}) {
+            sharded_kd_process process(n, k, d, seed, shards);
+            process.use_pool(&pool);
+            process.run_balls(balls);
+            ASSERT_EQ(process.loads(), reference.loads())
+                << "threads=" << threads << " shards=" << shards;
+            EXPECT_EQ(process.balls_placed(), reference.balls_placed());
+            EXPECT_EQ(process.rounds_run(), reference.rounds_run());
+            EXPECT_EQ(process.messages(), reference.messages());
+        }
+    }
+}
+
+// Same grid for the second (k,d) point the benches care about.
+TEST(ShardedKernel, PerBinByteIdenticalAtK8D16) {
+    constexpr std::uint64_t n = 10'000;
+    kd_choice_process reference(n, 8, 16, 7);
+    reference.run_balls(n - (n % 8));
+    thread_pool pool(2);
+    for (const std::uint64_t shards : {1ull, 4ull, 64ull}) {
+        sharded_kd_process process(n, 8, 16, 7, shards);
+        process.use_pool(&pool);
+        process.run_balls(n - (n % 8));
+        ASSERT_EQ(process.loads(), reference.loads()) << "shards=" << shards;
+    }
+}
+
+TEST(ShardedKernel, NoPoolRunsInlineWithIdenticalOutput) {
+    constexpr std::uint64_t n = 4096;
+    kd_choice_process reference(n, 2, 5, 99);
+    reference.run_balls(2 * n);
+    sharded_kd_process process(n, 2, 5, 99, 16); // pool never attached
+    process.run_balls(2 * n);
+    EXPECT_EQ(process.loads(), reference.loads());
+}
+
+// Chunk boundaries are an internal schedule, not a semantic: splitting the
+// run across many run_balls calls must not move a single ball.
+TEST(ShardedKernel, SplitRunsMatchOneBigRun) {
+    constexpr std::uint64_t n = 2048;
+    kd_choice_process reference(n, 4, 9, 5);
+    reference.run_balls(4 * n);
+    sharded_kd_process process(n, 4, 9, 5, 8);
+    for (int i = 0; i < 4; ++i) {
+        process.run_balls(n);
+    }
+    EXPECT_EQ(process.loads(), reference.loads());
+}
+
+TEST(ShardedKernel, SnapshotConstructorResumesExactly) {
+    constexpr std::uint64_t n = 1024;
+    load_vector start(n, 0);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        start[i] = static_cast<bin_load>(i % 5);
+    }
+    kd_choice_process reference(start, 2, 6, 31);
+    reference.run_balls(2 * n);
+    sharded_kd_process process(start, 2, 6, 31, 4);
+    process.run_balls(2 * n);
+    EXPECT_EQ(process.loads(), reference.loads());
+    EXPECT_EQ(process.balls_placed(), 2 * n);
+}
+
+TEST(ShardedKernel, ContractViolationsThrow) {
+    EXPECT_THROW(sharded_kd_process(10, 0, 4, 1), kdc::contract_violation);
+    EXPECT_THROW(sharded_kd_process(10, 4, 4, 1), kdc::contract_violation);
+    EXPECT_THROW(sharded_kd_process(3, 1, 4, 1), kdc::contract_violation);
+    sharded_kd_process process(10, 3, 4, 1);
+    EXPECT_THROW(process.run_balls(2), // not a whole round
+                 kdc::contract_violation);
+}
+
+// Level kernel: profile() replays kd_choice_level_process exactly.
+TEST(ShardedLevelKernel, ProfileByteIdenticalToSerialAcrossShards) {
+    constexpr std::uint64_t n = 10'000;
+    constexpr std::uint64_t k = 3;
+    constexpr std::uint64_t d = 8;
+    kd_choice_level_process reference(n, k, d, 77);
+    reference.run_balls(3 * n);
+    for (const std::uint64_t shards : {1ull, 4ull, 64ull}) {
+        sharded_kd_level_process process(n, k, d, 77, shards);
+        process.run_balls(3 * n);
+        ASSERT_EQ(process.profile(), reference.profile())
+            << "shards=" << shards;
+        EXPECT_EQ(process.balls_placed(), reference.balls_placed());
+        EXPECT_EQ(process.messages(), reference.messages());
+    }
+}
+
+TEST(ShardedLevelKernel, ShardProfilesMergeBackToTheProfile) {
+    sharded_kd_level_process process(5000, 2, 6, 13, 7);
+    process.run_balls(10'000);
+    EXPECT_EQ(process.shard_count(), 7u);
+    EXPECT_EQ(merge_profiles(process.shard_profiles()), process.profile());
+    std::uint64_t bins = 0;
+    for (const auto& shard : process.shard_profiles()) {
+        bins += shard.n();
+    }
+    EXPECT_EQ(bins, 5000u);
+}
+
+TEST(ShardedLevelKernel, SnapshotConstructorResumesExactly) {
+    kd_choice_level_process warm(2000, 2, 5, 3);
+    warm.run_balls(4000);
+    const level_profile snapshot = warm.profile();
+
+    kd_choice_level_process reference(snapshot, 2, 5, 21);
+    reference.run_balls(2000);
+    sharded_kd_level_process process(snapshot, 2, 5, 21, 5);
+    process.run_balls(2000);
+    EXPECT_EQ(process.profile(), reference.profile());
+}
+
+TEST(SplitProfile, RoundTripsThroughMerge) {
+    kd_choice_level_process warm(999, 2, 4, 8);
+    warm.run_balls(4 * 998);
+    const level_profile profile = warm.profile();
+    for (const std::uint64_t shards : {1ull, 2ull, 7ull, 999ull}) {
+        const auto parts = split_profile(profile, shards);
+        ASSERT_EQ(parts.size(), shards);
+        const shard_layout layout(profile.n(), shards);
+        for (std::uint64_t s = 0; s < shards; ++s) {
+            EXPECT_EQ(parts[s].n(), layout.size(s));
+        }
+        EXPECT_EQ(merge_profiles(parts), profile);
+    }
+}
+
+TEST(SplitProfile, DealsBinsBottomUpInIndexOrder) {
+    // 4 bins at levels {0, 0, 1, 2} split into 2 shards of 2: the dealing
+    // rule walks levels bottom-up, so shard 0 takes the two level-0 bins.
+    level_profile profile = level_profile::from_counts({2, 1, 1});
+    const auto parts = split_profile(profile, 2);
+    ASSERT_EQ(parts.size(), 2u);
+    EXPECT_EQ(parts[0].bins_at(0), 2u);
+    EXPECT_EQ(parts[0].total_balls(), 0u);
+    EXPECT_EQ(parts[1].bins_at(1), 1u);
+    EXPECT_EQ(parts[1].bins_at(2), 1u);
+    EXPECT_EQ(parts[1].total_balls(), 3u);
+}
+
+} // namespace
+} // namespace kdc::core

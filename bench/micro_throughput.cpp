@@ -19,10 +19,20 @@
 //      ./micro_throughput --json [--json-out=BENCH_micro.json] [--guard]
 //                         [--big-n=16777216] [--balls-factor=1] [--seed=42]
 //                         [--huge-n=0] [--huge-factor=10] [--threads=0]
+//                         [--warmup=full] [--level-floor=0]
 //
 //    --huge-n adds a level-kernel-only cell (the per-bin kernel cannot
 //    represent the state): --huge-n=1000000000 --huge-factor=10 is the
 //    billion-bin, m = 10n run — minutes of wall clock, kilobytes of state.
+//    --warmup=ff starts the n >= 10^7 level cells (including --huge-n)
+//    from the steady-state fast-forward (core/steady_state.hpp) so only
+//    the settle suffix is timed; such cells carry "warmup": "ff" in the
+//    JSON and are EXCLUDED from --guard comparisons — the guard re-times
+//    them with a full warmup so a fast-forwarded grid can never pass the
+//    gate vacuously. --level-floor=<balls/s> adds a guard arm: the
+//    largest-n full-warmup level cell at (k=8, d=16) must sustain at
+//    least that rate (the recorded hot-path floor; see
+//    docs/benchmarks.md).
 //
 //  * --scenario: time ONE declarative scenario (core/scenario.hpp) through
 //    the same make_process factory the benches use — any policy, any
@@ -30,10 +40,14 @@
 //
 //      ./micro_throughput --scenario="kd:n=1e8,k=8,d=16,kernel=auto"
 //                         [--balls-factor=1] [--repeat=3] [--seed=42]
-//                         [--threads=0]
+//                         [--threads=0] [--validate-warmup=0]
 //
 //    `par=round` scenarios run the sharded kernel on a pool sized by
 //    --threads; output is byte-identical at any thread count.
+//    --validate-warmup=<reps> skips the timing and instead KS-compares the
+//    scenario (which must carry warmup=ff) against its warmup=full twin;
+//    exit 1 if any of the three KS p-values drops to 0.001 or below.
+#include <algorithm>
 #include <chrono>
 #include <fstream>
 #include <iostream>
@@ -52,6 +66,7 @@ namespace {
 
 struct json_cell {
     std::string kernel;
+    std::string warmup = "full"; ///< "ff" = steady-state fast-forward timed
     std::uint64_t n = 0;
     std::uint64_t k = 0;
     std::uint64_t d = 0;
@@ -60,9 +75,19 @@ struct json_cell {
     double balls_per_sec = 0.0;
 };
 
+/// Typed kernels expose observed_load_metrics; any_process (the warmup=ff
+/// cells go through make_process) reports through observe() instead.
+template <typename Process> double final_max_load(const Process& process) {
+    if constexpr (requires { kdc::core::observed_load_metrics(process); }) {
+        return kdc::core::observed_load_metrics(process).max_load;
+    } else {
+        return process.observe().max_load;
+    }
+}
+
 template <typename MakeProcess>
-json_cell time_cell(const char* kernel, std::uint64_t n, std::uint64_t k,
-                    std::uint64_t d, std::uint64_t balls,
+json_cell time_cell(const char* kernel, const char* warmup, std::uint64_t n,
+                    std::uint64_t k, std::uint64_t d, std::uint64_t balls,
                     MakeProcess make_process) {
     auto process = make_process();
     const auto start = std::chrono::steady_clock::now();
@@ -70,6 +95,7 @@ json_cell time_cell(const char* kernel, std::uint64_t n, std::uint64_t k,
     const auto stop = std::chrono::steady_clock::now();
     json_cell cell;
     cell.kernel = kernel;
+    cell.warmup = warmup;
     cell.n = n;
     cell.k = k;
     cell.d = d;
@@ -80,9 +106,9 @@ json_cell time_cell(const char* kernel, std::uint64_t n, std::uint64_t k,
     // The final max load keeps the run observable (and the optimizer
     // honest) without an O(n) metrics pass for the per-bin kernel.
     std::cerr << "  " << kernel << " n=" << n << " k=" << k << " d=" << d
-              << ": " << static_cast<std::uint64_t>(cell.balls_per_sec)
-              << " balls/s (max load "
-              << kdc::core::observed_load_metrics(process).max_load << ")\n";
+              << (cell.warmup == "ff" ? " warmup=ff" : "") << ": "
+              << static_cast<std::uint64_t>(cell.balls_per_sec)
+              << " balls/s (max load " << final_max_load(process) << ")\n";
     return cell;
 }
 
@@ -94,16 +120,17 @@ void write_json(const std::string& path, std::uint64_t balls_factor,
     }
     out << "{\n"
         << "  \"bench\": \"micro_throughput\",\n"
-        << "  \"schema\": \"kdchoice-bench-micro/v1\",\n"
+        << "  \"schema\": \"kdchoice-bench-micro/v2\",\n"
         << "  \"balls_factor\": " << balls_factor << ",\n"
         << "  \"cells\": [\n";
     for (std::size_t i = 0; i < cells.size(); ++i) {
         const auto& cell = cells[i];
-        out << "    {\"kernel\": \"" << cell.kernel << "\", \"n\": " << cell.n
-            << ", \"k\": " << cell.k << ", \"d\": " << cell.d
-            << ", \"balls\": " << cell.balls << ", \"seconds\": "
-            << cell.seconds << ", \"balls_per_sec\": " << cell.balls_per_sec
-            << "}" << (i + 1 < cells.size() ? "," : "") << "\n";
+        out << "    {\"kernel\": \"" << cell.kernel << "\", \"warmup\": \""
+            << cell.warmup << "\", \"n\": " << cell.n << ", \"k\": " << cell.k
+            << ", \"d\": " << cell.d << ", \"balls\": " << cell.balls
+            << ", \"seconds\": " << cell.seconds << ", \"balls_per_sec\": "
+            << cell.balls_per_sec << "}" << (i + 1 < cells.size() ? "," : "")
+            << "\n";
     }
     out << "  ]\n}\n";
 }
@@ -125,6 +152,12 @@ int json_main(int argc, char** argv) {
     args.add_flag("guard",
                   "exit 1 if the level or sharded kernel is slower than "
                   "perbin on any cell with n >= 10^7");
+    args.add_option("warmup", "full",
+                    "'ff' fast-forwards the n >= 10^7 level cells to the "
+                    "steady state and times the settle suffix only");
+    args.add_option("level-floor", "0",
+                    "extra --guard arm: minimum balls/s for the largest-n "
+                    "full-warmup level cell at k=8, d=16 (0 disables)");
     args.add_threads_option();
     if (!args.parse(argc, argv)) {
         return 0;
@@ -136,6 +169,23 @@ int json_main(int argc, char** argv) {
     const auto huge_n = static_cast<std::uint64_t>(args.get_int("huge-n"));
     const auto huge_factor =
         static_cast<std::uint64_t>(args.get_int("huge-factor"));
+    const bool use_ff = kdc::core::warmup_from_name(args.get_string(
+                            "warmup")) == kdc::core::warmup_mode::fast_forward;
+    const double level_floor = args.get_double("level-floor");
+
+    // The warmup=ff level cells go through the same declarative factory the
+    // benches use; only n >= 10^7 cells qualify (below that the warmup is
+    // cheap and a fast-forwarded timing would measure nothing).
+    const auto make_ff_level = [seed](std::uint64_t n, std::uint64_t k,
+                                      std::uint64_t d) {
+        kdc::core::scenario sc;
+        sc.n = n;
+        sc.k = k;
+        sc.d = d;
+        sc.kernel = kdc::core::kernel_choice::level;
+        sc.warmup = kdc::core::warmup_mode::fast_forward;
+        return kdc::core::make_process(sc, seed);
+    };
 
     struct config {
         std::uint64_t k, d;
@@ -158,17 +208,23 @@ int json_main(int argc, char** argv) {
             const std::uint64_t balls =
                 balls_factor * kdc::core::whole_rounds_balls(n, cfg.k);
             cells.push_back(time_cell(
-                "perbin", n, cfg.k, cfg.d, balls, [&] {
+                "perbin", "full", n, cfg.k, cfg.d, balls, [&] {
                     return kdc::core::kd_choice_process(n, cfg.k, cfg.d,
                                                         seed);
                 }));
+            if (use_ff && n >= 10'000'000) {
+                cells.push_back(time_cell(
+                    "level", "ff", n, cfg.k, cfg.d, balls,
+                    [&] { return make_ff_level(n, cfg.k, cfg.d); }));
+            } else {
+                cells.push_back(time_cell(
+                    "level", "full", n, cfg.k, cfg.d, balls, [&] {
+                        return kdc::core::kd_choice_level_process(
+                            n, cfg.k, cfg.d, seed);
+                    }));
+            }
             cells.push_back(time_cell(
-                "level", n, cfg.k, cfg.d, balls, [&] {
-                    return kdc::core::kd_choice_level_process(n, cfg.k,
-                                                              cfg.d, seed);
-                }));
-            cells.push_back(time_cell(
-                "sharded", n, cfg.k, cfg.d, balls, [&] {
+                "sharded", "full", n, cfg.k, cfg.d, balls, [&] {
                     kdc::core::sharded_kd_process process(n, cfg.k, cfg.d,
                                                           seed);
                     process.use_pool(&pool);
@@ -182,9 +238,19 @@ int json_main(int argc, char** argv) {
         const std::uint64_t d = 16;
         const std::uint64_t balls =
             huge_factor * kdc::core::whole_rounds_balls(huge_n, k);
-        cells.push_back(time_cell("level", huge_n, k, d, balls, [&] {
-            return kdc::core::kd_choice_level_process(huge_n, k, d, seed);
-        }));
+        if (use_ff && huge_n >= 10'000'000) {
+            cells.push_back(time_cell("level", "ff", huge_n, k, d, balls,
+                                      [&] {
+                                          return make_ff_level(huge_n, k, d);
+                                      }));
+        } else {
+            cells.push_back(time_cell("level", "full", huge_n, k, d, balls,
+                                      [&] {
+                                          return kdc::core::
+                                              kd_choice_level_process(
+                                                  huge_n, k, d, seed);
+                                      }));
+        }
     }
 
     write_json(args.get_string("json-out"), balls_factor, cells);
@@ -192,6 +258,39 @@ int json_main(int argc, char** argv) {
               << cells.size() << " cells)\n";
 
     if (args.get_flag("guard")) {
+        // A fast-forwarded cell times the settle suffix only, so comparing
+        // it against a full-warmup perbin cell would gate nothing. Re-time
+        // every grid ff cell (those with a perbin twin; --huge-n has none)
+        // with a full warmup so the kernel comparison below always runs on
+        // like-for-like timings — --warmup=ff must never make the guard
+        // pass vacuously.
+        {
+            std::vector<json_cell> retimed;
+            for (const auto& cell : cells) {
+                if (cell.warmup != "ff") {
+                    continue;
+                }
+                const bool has_perbin_twin = std::any_of(
+                    cells.begin(), cells.end(), [&](const json_cell& other) {
+                        return other.kernel == "perbin" &&
+                               other.n == cell.n && other.k == cell.k &&
+                               other.d == cell.d;
+                    });
+                if (!has_perbin_twin) {
+                    continue;
+                }
+                std::cerr << "guard: re-timing level n=" << cell.n
+                          << " k=" << cell.k << " d=" << cell.d
+                          << " with a full warmup\n";
+                retimed.push_back(time_cell(
+                    "level", "full", cell.n, cell.k, cell.d, cell.balls,
+                    [&] {
+                        return kdc::core::kd_choice_level_process(
+                            cell.n, cell.k, cell.d, seed);
+                    }));
+            }
+            cells.insert(cells.end(), retimed.begin(), retimed.end());
+        }
         // Two arms. The level kernel must dominate perbin on EVERY big-n
         // cell (that regression gate predates the sharded kernel). The
         // sharded kernel replays the serial tape exactly, so its edge is
@@ -211,8 +310,8 @@ int json_main(int argc, char** argv) {
             }
             for (const auto& other : cells) {
                 if ((other.kernel != "level" && other.kernel != "sharded") ||
-                    other.n != perbin.n || other.k != perbin.k ||
-                    other.d != perbin.d) {
+                    other.warmup != "full" || other.n != perbin.n ||
+                    other.k != perbin.k || other.d != perbin.d) {
                     continue;
                 }
                 ++compared;
@@ -246,6 +345,39 @@ int json_main(int argc, char** argv) {
                          "kernel beats perbin\n";
             ok = false;
         }
+        if (level_floor > 0.0) {
+            // Third arm: the hot-path throughput floor. The largest-n
+            // full-warmup level cell at the heavy configuration (k=8, d=16)
+            // must hold the recorded rate — absolute, not relative to
+            // perbin, so a simultaneous regression of both kernels still
+            // trips the gate.
+            const json_cell* floor_cell = nullptr;
+            for (const auto& cell : cells) {
+                if (cell.kernel == "level" && cell.warmup == "full" &&
+                    cell.n >= 10'000'000 && cell.k == 8 && cell.d == 16 &&
+                    (floor_cell == nullptr || cell.n > floor_cell->n)) {
+                    floor_cell = &cell;
+                }
+            }
+            if (floor_cell == nullptr) {
+                std::cerr << "GUARD FAILED: --level-floor needs a "
+                             "full-warmup level cell with n >= 10^7 at k=8 "
+                             "d=16 (raise --big-n)\n";
+                ok = false;
+            } else if (floor_cell->balls_per_sec < level_floor) {
+                std::cerr << "GUARD FAILED: level kernel below the floor at "
+                             "n="
+                          << floor_cell->n << " k=8 d=16 ("
+                          << floor_cell->balls_per_sec << " vs floor "
+                          << level_floor << " balls/s)\n";
+                ok = false;
+            } else {
+                std::cerr << "guard: level floor held ("
+                          << floor_cell->balls_per_sec << " >= "
+                          << level_floor << " balls/s at n=" << floor_cell->n
+                          << ")\n";
+            }
+        }
         if (!ok) {
             return 1;
         }
@@ -268,6 +400,10 @@ int scenario_main(int argc, char** argv) {
                     "balls = factor * the scenario's resolved ball count");
     args.add_option("repeat", "3", "timed runs; the best is reported");
     args.add_option("seed", "42", "seed for every timed run");
+    args.add_option("validate-warmup", "0",
+                    "KS-compare the scenario (warmup=ff) against its "
+                    "warmup=full twin over this many repetitions instead of "
+                    "timing; exit 1 if any p-value <= 0.001");
     args.add_threads_option();
     if (!args.parse(argc, argv)) {
         return 0;
@@ -277,6 +413,41 @@ int scenario_main(int argc, char** argv) {
         static_cast<std::uint64_t>(args.get_int("balls-factor"));
     const auto repeat = static_cast<std::uint64_t>(args.get_int("repeat"));
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+    const auto validate_reps =
+        static_cast<std::uint32_t>(args.get_int("validate-warmup"));
+
+    if (validate_reps > 0) {
+        if (sc.warmup != kdc::core::warmup_mode::fast_forward) {
+            throw kdc::cli_error("--validate-warmup compares warmup=ff "
+                                 "against warmup=full; add warmup=ff to the "
+                                 "scenario");
+        }
+        const auto result =
+            kdc::core::validate_fast_forward(sc, validate_reps, seed);
+        const auto print = [](const char* what,
+                              const kdc::stats::ks_result& ks) {
+            std::cout << "  " << what << ": D=" << ks.statistic
+                      << " p=" << ks.p_value << '\n';
+        };
+        std::cout << "validate-warmup scenario=" << kdc::core::to_string(sc)
+                  << " reps=" << result.reps << '\n';
+        print("max_load", result.max_load_ks);
+        print("gap", result.gap_ks);
+        print("loads", result.loads_ks);
+        const double worst =
+            std::min({result.max_load_ks.p_value, result.gap_ks.p_value,
+                      result.loads_ks.p_value});
+        if (worst <= 0.001) {
+            std::cout << "validate-warmup FAILED: fast-forward "
+                         "distinguishable from full warmup (worst p="
+                      << worst << ")\n";
+            return 1;
+        }
+        std::cout << "validate-warmup OK: fast-forward indistinguishable "
+                     "from full warmup (worst p="
+                  << worst << ")\n";
+        return 0;
+    }
     const std::uint64_t balls = factor * kdc::core::resolved_balls(sc);
     const auto kernel = kdc::core::resolve_kernel(sc);
 

@@ -46,6 +46,9 @@ int main(int argc, char** argv) {
     args.add_scenario_option();
     args.add_adaptive_options();
     args.add_snapshot_options();
+    args.add_option("warmup", "full",
+                    "'ff' fast-forwards each run to the steady state "
+                    "(see docs/scenario-grammar.md)");
     args.add_flag("csv", "also emit CSV rows (m/n, config, gap mean)");
     if (!args.parse(argc, argv)) {
         return 0;
@@ -59,6 +62,7 @@ int main(int argc, char** argv) {
     base.n = static_cast<std::uint64_t>(args.get_int("n"));
     base.kernel =
         kdc::core::to_kernel_choice(kdc::core::kernel_from_cli(args));
+    base.warmup = kdc::core::warmup_from_name(args.get_string("warmup"));
     const auto merged = kdc::core::scenario_from_cli(args, base);
     const auto n = merged.n;
     const auto kernel = kdc::core::resolve_kernel(merged);

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Check that intra-repo markdown links in README.md and docs/ resolve.
+
+Stdlib only. For every inline link [text](target) in the scanned pages:
+
+  * external targets (http://, https://, mailto:) are skipped;
+  * a path target must exist on disk, resolved relative to the file
+    containing the link;
+  * a `path#anchor` or bare `#anchor` target must also name a heading
+    that GitHub's anchor algorithm would produce in the target page.
+
+Exit 0 when every link resolves, 1 with one line per broken link.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+PAGES = sorted([REPO / "README.md", *(REPO / "docs").glob("*.md")])
+
+LINK = re.compile(r"(?<!!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$")
+CODE_FENCE = re.compile(r"^(```|~~~)")
+
+
+def github_anchor(heading: str) -> str:
+    heading = re.sub(r"`([^`]*)`", r"\1", heading)
+    heading = re.sub(r"[*_]", "", heading)
+    heading = heading.strip().lower()
+    heading = re.sub(r"[^\w\- ]", "", heading, flags=re.UNICODE)
+    return heading.replace(" ", "-")
+
+
+def anchors_of(page: Path) -> set[str]:
+    anchors: set[str] = set()
+    in_fence = False
+    for line in page.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING.match(line)
+        if match:
+            anchors.add(github_anchor(match.group(1)))
+    return anchors
+
+
+def links_of(page: Path) -> list[str]:
+    links: list[str] = []
+    in_fence = False
+    for line in page.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        links.extend(LINK.findall(line))
+    return links
+
+
+def main() -> int:
+    broken: list[str] = []
+    for page in PAGES:
+        if not page.exists():
+            broken.append(f"{page}: scanned page does not exist")
+            continue
+        for target in links_of(page):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path_part, _, anchor = target.partition("#")
+            resolved = page if not path_part else (page.parent / path_part)
+            rel = page.relative_to(REPO)
+            if not resolved.exists():
+                broken.append(f"{rel}: broken link target '{target}'")
+                continue
+            if anchor and resolved.suffix == ".md":
+                if github_anchor(anchor) not in anchors_of(resolved):
+                    broken.append(f"{rel}: missing anchor '#{anchor}' in '{target}'")
+    for line in broken:
+        print(line, file=sys.stderr)
+    if not broken:
+        print(f"checked {len(PAGES)} pages: all intra-repo links resolve")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -37,8 +37,14 @@ void one_plus_beta_process::run_balls(std::uint64_t balls) {
 one_plus_beta_level_process::one_plus_beta_level_process(std::uint64_t n,
                                                          double beta,
                                                          std::uint64_t seed)
-    : profile_(n), beta_(beta), gen_(seed), probe_draws_(n) {
-    KD_EXPECTS(n >= 1);
+    : one_plus_beta_level_process(level_profile(n), beta, seed) {}
+
+one_plus_beta_level_process::one_plus_beta_level_process(level_profile initial,
+                                                         double beta,
+                                                         std::uint64_t seed)
+    : profile_(std::move(initial)), beta_(beta), gen_(seed),
+      probe_draws_(profile_.n()) {
+    KD_EXPECTS(profile_.n() >= 1);
     KD_EXPECTS_MSG(beta >= 0.0 && beta <= 1.0, "beta must lie in [0, 1]");
 }
 

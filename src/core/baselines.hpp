@@ -72,6 +72,10 @@ public:
     one_plus_beta_level_process(std::uint64_t n, double beta,
                                 std::uint64_t seed);
 
+    /// Starts from an existing profile (snapshot resume, warmup=ff).
+    one_plus_beta_level_process(level_profile initial, double beta,
+                                std::uint64_t seed);
+
     void run_balls(std::uint64_t balls);
 
     [[nodiscard]] const level_profile& profile() const noexcept {

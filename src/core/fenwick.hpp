@@ -78,6 +78,17 @@ public:
         for (std::size_t step = std::bit_floor(tree_.size() - 1); step > 0;
              step >>= 1) {
             const std::size_t next = pos + step;
+#if defined(__GNUC__) || defined(__clang__)
+            // The descent's next probe is one of two known positions; issue
+            // both loads early so large trees (weight_profile over many
+            // distinct weights) overlap the memory latency with the compare.
+            const std::size_t half = step >> 1;
+            if (half > 0) {
+                const std::size_t last = tree_.size() - 1;
+                __builtin_prefetch(tree_.data() + std::min(pos + half, last));
+                __builtin_prefetch(tree_.data() + std::min(next + half, last));
+            }
+#endif
             if (next < tree_.size() && tree_[next] <= target) {
                 target -= tree_[next];
                 pos = next;

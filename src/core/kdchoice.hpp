@@ -23,6 +23,7 @@
 #include "core/serialized.hpp"  // Definition 1 serialization
 #include "core/sharded_kernel.hpp" // sharded round-parallel kernels
 #include "core/snapshot_stage.hpp" // --snapshot-out/--resume bench staging
+#include "core/steady_state.hpp" // warmup=ff steady-state fast-forward
 #include "core/sweep.hpp"       // cross-cell grid sweeps on a shared pool
 #include "core/threshold.hpp"   // Definition 3 SA_{x0}
 #include "core/types.hpp"

@@ -10,6 +10,7 @@
 #include "core/baselines.hpp"
 #include "core/level_process.hpp"
 #include "core/sharded_kernel.hpp"
+#include "core/steady_state.hpp"
 #include "core/weighted.hpp"
 #include "support/cli.hpp"
 
@@ -20,7 +21,7 @@ namespace {
 /// The full key set of the grammar, for the unknown-key diagnostic.
 constexpr const char* scenario_keys =
     "balls, beta, cap, d, k, kernel, metric, n, par, probe, replacement, "
-    "shards, skew, threshold";
+    "shards, skew, threshold, warmup";
 
 std::string join(const std::vector<std::string>& names) {
     std::string out;
@@ -179,6 +180,22 @@ const char* probe_policy_name(probe_policy probe) noexcept {
     return "uniform";
 }
 
+const char* warmup_mode_name(warmup_mode warmup) noexcept {
+    return warmup == warmup_mode::fast_forward ? "ff" : "full";
+}
+
+warmup_mode warmup_from_name(const std::string& text) {
+    if (text == "full") {
+        return warmup_mode::full;
+    }
+    if (text == "ff") {
+        return warmup_mode::fast_forward;
+    }
+    throw cli_error("scenario key 'warmup' must be 'full' (simulate every "
+                    "ball) or 'ff' (steady-state fast-forward), got '" +
+                    text + "'");
+}
+
 const char* kernel_choice_name(kernel_choice kernel) noexcept {
     switch (kernel) {
     case kernel_choice::per_bin:
@@ -263,6 +280,8 @@ scenario parse_scenario(std::string_view text, scenario base) {
             sc.shards = parse_shards(value);
         } else if (key == "metric") {
             sc.metric = metric_from_name(value);
+        } else if (key == "warmup") {
+            sc.warmup = warmup_from_name(value);
         } else {
             throw cli_error("unknown scenario key '" + key +
                             "'; valid keys: " + scenario_keys);
@@ -294,7 +313,8 @@ std::string to_string(const scenario& sc) {
     } else {
         out << sc.shards;
     }
-    out << ",metric=" << metric_name(sc.metric);
+    out << ",metric=" << metric_name(sc.metric)
+        << ",warmup=" << warmup_mode_name(sc.warmup);
     return out.str();
 }
 
@@ -393,6 +413,11 @@ void validate_scenario(const scenario& sc) {
     // here too keeps parse_scenario errors early and complete.
     if (sc.kernel == kernel_choice::level) {
         (void)resolve_kernel(sc);
+    }
+    // warmup=ff support (level kernel, known steady-state shape) is
+    // plan_fast_forward's job — its cli_errors surface at parse time too.
+    if (sc.warmup == warmup_mode::fast_forward) {
+        (void)plan_fast_forward(sc);
     }
 }
 
@@ -600,6 +625,13 @@ policy_registry::policy_registry() {
 
 any_process make_process(const scenario& sc, std::uint64_t seed) {
     validate_scenario(sc);
+    if (sc.warmup == warmup_mode::fast_forward) {
+        // The fast-forward wrapper defers the steady-state jump to its
+        // first run_balls call (only then is the run's total known) and
+        // settles on the scenario's level kernel.
+        return any_process(
+            fast_forwarded_process(sc, plan_fast_forward(sc), seed));
+    }
     const kernel_kind kernel = resolve_kernel(sc);
     const auto& info = policy_registry::instance().at(resolved_policy(sc));
     return info.make(sc, kernel, seed);
@@ -665,15 +697,28 @@ sweep_cell make_scenario_cell(std::string name, const scenario& sc,
     }
     KD_EXPECTS(config.reps >= 1);
     KD_EXPECTS(config.balls >= 1);
-    const kernel_kind kernel = resolve_kernel(sc);
-    // Copy the factory out of the registry here: repetition jobs on worker
-    // threads never touch the (unsynchronized) registry.
-    auto make = policy_registry::instance().at(resolved_policy(sc)).make;
 
     sweep_cell cell;
     cell.name = std::move(name);
     cell.config = config;
     cell.metric = sc.metric;
+    if (sc.warmup == warmup_mode::fast_forward) {
+        // Resolve the fast-forward plan here for the same reason the
+        // registry factory is copied below: repetition jobs on worker
+        // threads must never consult the (unsynchronized) registry.
+        const ff_plan plan = plan_fast_forward(sc);
+        cell.run_rep = [sc, plan,
+                        balls = config.balls](std::uint64_t derived_seed) {
+            fast_forwarded_process process(sc, plan, derived_seed);
+            process.run_balls(balls);
+            return to_repetition_result(process.observe());
+        };
+        return cell;
+    }
+    const kernel_kind kernel = resolve_kernel(sc);
+    // Copy the factory out of the registry here: repetition jobs on worker
+    // threads never touch the (unsynchronized) registry.
+    auto make = policy_registry::instance().at(resolved_policy(sc)).make;
     // Repetition jobs already saturate the pool, so a par=round cell runs
     // its sharded phases inline on the owning worker — the output is
     // byte-identical either way (that is the sharded kernel's contract).

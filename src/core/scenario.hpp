@@ -23,7 +23,7 @@
 //   pair      := key "=" value
 //   family    := a registered policy name (see below); default "kd"
 //   keys      := n, k, d, balls, probe, skew, beta, threshold, cap,
-//                replacement, kernel, metric
+//                replacement, kernel, metric, warmup
 //
 //   probe       = uniform | weighted | one_plus_beta | threshold
 //                 (probe modifies the "kd" family; the probe policies are
@@ -49,6 +49,12 @@
 //                 resolve_shard_count; auto picks ~one shard per 32k bins)
 //   metric      = max_load | gap | messages  (what adaptive stopping rules
 //                 monitor for cells built from this scenario)
+//   warmup      = full | ff  (full = simulate every ball, the default;
+//                 ff = steady-state fast-forward, core/steady_state.hpp:
+//                 synthesize the heavy warmup's load profile and simulate
+//                 only a settle suffix — level kernel with
+//                 replacement=with, policies kd/single/dchoice/
+//                 one_plus_beta only)
 //
 // Counts (n, k, d, balls, threshold, cap) accept scientific notation
 // ("n=1e9"). Unknown keys, duplicate keys, malformed values and invalid
@@ -106,6 +112,17 @@ enum class kernel_choice { per_bin, level, auto_pick };
 
 [[nodiscard]] const char* kernel_choice_name(kernel_choice kernel) noexcept;
 
+/// Whether a run simulates its warmup ball by ball (`full`) or jumps to a
+/// synthesized steady-state profile and settles (`ff`,
+/// core/steady_state.hpp).
+enum class warmup_mode { full, fast_forward };
+
+[[nodiscard]] const char* warmup_mode_name(warmup_mode warmup) noexcept;
+
+/// Parses "full" / "ff" — the scenario grammar's warmup= values, also used
+/// by the heavy benches' --warmup flag. Throws cli_error otherwise.
+[[nodiscard]] warmup_mode warmup_from_name(const std::string& text);
+
 /// Lifts a resolved kernel into the request enum — how benches map their
 /// legacy `--kernel` flag onto a base scenario before `--scenario` merges
 /// over it.
@@ -133,6 +150,7 @@ struct scenario {
     par_mode par = par_mode::rep;  ///< round = sharded intra-rep kernel
     std::uint64_t shards = 0;      ///< par=round shard request; 0 = auto
     metric_kind metric = metric_kind::max_load;
+    warmup_mode warmup = warmup_mode::full; ///< ff = steady-state jump
 
     [[nodiscard]] bool operator==(const scenario&) const = default;
 };
@@ -201,6 +219,16 @@ concept weight_level_observable = requires(const P cp) {
     { cp.gap() } -> std::convertible_to<double>;
 };
 
+/// A process that assembles its own process_observation — wrappers over
+/// other processes (the warmup=ff fast_forwarded_process, which must fold
+/// the skipped warmup into the inner kernel's counters). Checked before
+/// the state-shaped concepts so a wrapper's accounting wins.
+template <typename P>
+concept self_observable = requires(const P cp) {
+    { cp.observe() } -> std::convertible_to<process_observation>;
+    { cp.sorted_loads() } -> std::convertible_to<std::vector<double>>;
+};
+
 /// Type-erased allocation process: the uniform handle make_process returns
 /// for every policy and kernel. Move-only, like the processes it wraps.
 class any_process {
@@ -261,35 +289,42 @@ private:
 
 template <typename P>
 process_observation any_process::model<P>::observe() const {
-    process_observation obs;
-    obs.messages = self.messages();
-    obs.balls_placed = self.balls_placed();
-    if constexpr (per_bin_observable<P> || level_observable<P>) {
-        const auto m = observed_load_metrics(self);
-        obs.max_load = static_cast<double>(m.max_load);
-        obs.gap = m.gap;
-        obs.empty_bins = m.empty_bins;
-    } else if constexpr (weight_level_observable<P>) {
-        obs.max_load = self.max_load();
-        obs.gap = self.gap();
-        obs.empty_bins = self.profile().bins_at(0.0);
+    if constexpr (self_observable<P>) {
+        return self.observe();
     } else {
-        static_assert(weight_per_bin_observable<P>,
-                      "any_process needs loads()/profile() observability");
-        obs.max_load = self.max_load();
-        obs.gap = self.gap();
-        std::uint64_t empty = 0;
-        for (const double load : self.loads()) {
-            empty += load == 0.0 ? 1 : 0;
+        process_observation obs;
+        obs.messages = self.messages();
+        obs.balls_placed = self.balls_placed();
+        if constexpr (per_bin_observable<P> || level_observable<P>) {
+            const auto m = observed_load_metrics(self);
+            obs.max_load = static_cast<double>(m.max_load);
+            obs.gap = m.gap;
+            obs.empty_bins = m.empty_bins;
+        } else if constexpr (weight_level_observable<P>) {
+            obs.max_load = self.max_load();
+            obs.gap = self.gap();
+            obs.empty_bins = self.profile().bins_at(0.0);
+        } else {
+            static_assert(weight_per_bin_observable<P>,
+                          "any_process needs loads()/profile() "
+                          "observability");
+            obs.max_load = self.max_load();
+            obs.gap = self.gap();
+            std::uint64_t empty = 0;
+            for (const double load : self.loads()) {
+                empty += load == 0.0 ? 1 : 0;
+            }
+            obs.empty_bins = empty;
         }
-        obs.empty_bins = empty;
+        return obs;
     }
-    return obs;
 }
 
 template <typename P>
 std::vector<double> any_process::model<P>::sorted_loads() const {
-    if constexpr (per_bin_observable<P>) {
+    if constexpr (self_observable<P>) {
+        return self.sorted_loads();
+    } else if constexpr (per_bin_observable<P>) {
         const auto sorted = sorted_loads_desc(self.loads());
         return std::vector<double>(sorted.begin(), sorted.end());
     } else if constexpr (level_observable<P>) {

@@ -379,13 +379,21 @@ void sharded_kd_level_process::run_round() {
         }
     }
 
+    // Tie keys follow the serial level kernel's discipline: drawn only in
+    // rounds with a duplicated probe; duplicate-free rounds break height
+    // ties by probe order (bins at a level are exchangeable, so the global
+    // profile is identical either way, and the shard assignment stays a
+    // pure function of the tape).
+    const bool has_duplicate = distinct_.size() < d_;
     slots_.clear();
     for (std::uint32_t t = 0; t < distinct_.size(); ++t) {
         const auto& probe = distinct_[t];
         for (std::uint32_t occurrence = 1; occurrence <= probe.multiplicity;
              ++occurrence) {
-            slots_.push_back(slot{probe.level + occurrence,
-                                  static_cast<std::uint64_t>(gen_()), t});
+            slots_.push_back(
+                slot{probe.level + occurrence,
+                     has_duplicate ? static_cast<std::uint64_t>(gen_()) : t,
+                     t});
         }
     }
     if (k_ < slots_.size()) {

@@ -7,6 +7,7 @@
 
 #include "core/level_process.hpp"
 #include "core/sharded_kernel.hpp"
+#include "core/steady_state.hpp"
 #include "rng/splitmix64.hpp"
 #include "support/cli.hpp"
 
@@ -71,13 +72,25 @@ bool run_snapshot_stage(const arg_parser& args, const scenario& sc,
 
     level_profile initial = resume.empty() ? level_profile(sc.n)
                                            : load_snapshot(resume, sc.n);
-    const std::uint64_t balls = resolved_balls(sc);
+    std::uint64_t balls = resolved_balls(sc);
     const std::uint64_t derived = rng::derive_seed(seed, 0);
 
     out << "snapshot-stage scenario=" << to_string(sc) << " seed=" << seed
         << " balls=" << balls << '\n';
     if (!resume.empty()) {
         print_profile_line(out, "resumed", initial);
+    } else if (sc.warmup == warmup_mode::fast_forward) {
+        // A fresh warmup=ff stage starts from the synthesized steady-state
+        // profile and simulates only the settle suffix; a --resume snapshot
+        // always wins over the synthesis (its profile is the real thing).
+        const ff_plan plan = plan_fast_forward(sc);
+        const ff_split split = fast_forward_split(sc, balls);
+        if (split.ff_balls > 0) {
+            initial = steady_state_profile(sc, plan, split.ff_balls,
+                                           rng::derive_seed(seed, 1));
+            balls = split.settle_balls;
+            print_profile_line(out, "fast-forwarded", initial);
+        }
     }
 
     // Each stage is its own independently seeded process over the evolving

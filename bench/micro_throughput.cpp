@@ -20,7 +20,13 @@
 //                         [--big-n=16777216] [--balls-factor=1] [--seed=42]
 //                         [--huge-n=0] [--huge-factor=10] [--threads=0]
 //                         [--warmup=full] [--level-floor=0]
+//                         [--sharded-floor=0] [--repeat=3] [--verbose]
 //
+//    Every cell records the fastest of --repeat runs (the box shares its
+//    host; single-shot timings jitter). Sharded cells additionally carry
+//    a "phases" object — the kernel's cumulative per-phase wall time
+//    (pregen / bucket / gather / select / handoff / commit) from the best
+//    run — which is the v2 -> v3 schema change.
 //    --huge-n adds a level-kernel-only cell (the per-bin kernel cannot
 //    represent the state): --huge-n=1000000000 --huge-factor=10 is the
 //    billion-bin, m = 10n run — minutes of wall clock, kilobytes of state.
@@ -31,8 +37,12 @@
 //    them with a full warmup so a fast-forwarded grid can never pass the
 //    gate vacuously. --level-floor=<balls/s> adds a guard arm: the
 //    largest-n full-warmup level cell at (k=8, d=16) must sustain at
-//    least that rate (the recorded hot-path floor; see
-//    docs/benchmarks.md).
+//    least that rate (the recorded hot-path floor; see docs/benchmarks.md).
+//    --sharded-floor=<balls/s> is the same arm for the sharded kernel: the
+//    largest-n full-warmup sharded cell at (k=1, d=2) — the configuration
+//    where the phase pipeline's edge over serial probing is largest — must
+//    hold the recorded rate. --verbose logs the detected cache topology
+//    behind shards=auto (L2 bytes, window bins, resolved shard count).
 //
 //  * --scenario: time ONE declarative scenario (core/scenario.hpp) through
 //    the same make_process factory the benches use — any policy, any
@@ -73,6 +83,11 @@ struct json_cell {
     std::uint64_t balls = 0;
     double seconds = 0.0;
     double balls_per_sec = 0.0;
+    /// Sharded cells only (schema v3): the kernel's per-phase wall-time
+    /// breakdown for the best repeat, so the JSON records WHERE the time
+    /// goes, not just the rate.
+    bool has_phases = false;
+    kdc::core::sharded_phase_times phases;
 };
 
 /// Typed kernels expose observed_load_metrics; any_process (the warmup=ff
@@ -88,11 +103,9 @@ template <typename Process> double final_max_load(const Process& process) {
 template <typename MakeProcess>
 json_cell time_cell(const char* kernel, const char* warmup, std::uint64_t n,
                     std::uint64_t k, std::uint64_t d, std::uint64_t balls,
-                    MakeProcess make_process) {
-    auto process = make_process();
-    const auto start = std::chrono::steady_clock::now();
-    process.run_balls(balls);
-    const auto stop = std::chrono::steady_clock::now();
+                    std::uint64_t repeats, MakeProcess make_process) {
+    // Fastest of `repeats` fresh runs: the recorded rate is the kernel's,
+    // not the host's scheduling noise.
     json_cell cell;
     cell.kernel = kernel;
     cell.warmup = warmup;
@@ -100,15 +113,32 @@ json_cell time_cell(const char* kernel, const char* warmup, std::uint64_t n,
     cell.k = k;
     cell.d = d;
     cell.balls = balls;
-    cell.seconds = std::chrono::duration<double>(stop - start).count();
+    double max_load = 0.0;
+    for (std::uint64_t rep = 0; rep < std::max<std::uint64_t>(repeats, 1);
+         ++rep) {
+        auto process = make_process();
+        const auto start = std::chrono::steady_clock::now();
+        process.run_balls(balls);
+        const auto stop = std::chrono::steady_clock::now();
+        const double seconds =
+            std::chrono::duration<double>(stop - start).count();
+        if (rep == 0 || seconds < cell.seconds) {
+            cell.seconds = seconds;
+            if constexpr (requires { process.phase_times(); }) {
+                cell.has_phases = true;
+                cell.phases = process.phase_times();
+            }
+        }
+        // The final max load keeps the run observable (and the optimizer
+        // honest) without an O(n) metrics pass for the per-bin kernel.
+        max_load = final_max_load(process);
+    }
     cell.balls_per_sec =
         cell.seconds > 0.0 ? static_cast<double>(balls) / cell.seconds : 0.0;
-    // The final max load keeps the run observable (and the optimizer
-    // honest) without an O(n) metrics pass for the per-bin kernel.
     std::cerr << "  " << kernel << " n=" << n << " k=" << k << " d=" << d
               << (cell.warmup == "ff" ? " warmup=ff" : "") << ": "
               << static_cast<std::uint64_t>(cell.balls_per_sec)
-              << " balls/s (max load " << final_max_load(process) << ")\n";
+              << " balls/s (max load " << max_load << ")\n";
     return cell;
 }
 
@@ -120,7 +150,7 @@ void write_json(const std::string& path, std::uint64_t balls_factor,
     }
     out << "{\n"
         << "  \"bench\": \"micro_throughput\",\n"
-        << "  \"schema\": \"kdchoice-bench-micro/v2\",\n"
+        << "  \"schema\": \"kdchoice-bench-micro/v3\",\n"
         << "  \"balls_factor\": " << balls_factor << ",\n"
         << "  \"cells\": [\n";
     for (std::size_t i = 0; i < cells.size(); ++i) {
@@ -129,8 +159,16 @@ void write_json(const std::string& path, std::uint64_t balls_factor,
             << cell.warmup << "\", \"n\": " << cell.n << ", \"k\": " << cell.k
             << ", \"d\": " << cell.d << ", \"balls\": " << cell.balls
             << ", \"seconds\": " << cell.seconds << ", \"balls_per_sec\": "
-            << cell.balls_per_sec << "}" << (i + 1 < cells.size() ? "," : "")
-            << "\n";
+            << cell.balls_per_sec;
+        if (cell.has_phases) {
+            out << ", \"phases\": {\"pregen\": " << cell.phases.pregen
+                << ", \"bucket\": " << cell.phases.bucket
+                << ", \"gather\": " << cell.phases.gather
+                << ", \"select\": " << cell.phases.select
+                << ", \"handoff\": " << cell.phases.handoff
+                << ", \"commit\": " << cell.phases.commit << "}";
+        }
+        out << "}" << (i + 1 < cells.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";
 }
@@ -158,6 +196,13 @@ int json_main(int argc, char** argv) {
     args.add_option("level-floor", "0",
                     "extra --guard arm: minimum balls/s for the largest-n "
                     "full-warmup level cell at k=8, d=16 (0 disables)");
+    args.add_option("sharded-floor", "0",
+                    "extra --guard arm: minimum balls/s for the largest-n "
+                    "full-warmup sharded cell at k=1, d=2 (0 disables)");
+    args.add_option("repeat", "3",
+                    "timed runs per cell; each cell records the fastest");
+    args.add_flag("verbose",
+                  "log the detected cache topology behind shards=auto");
     args.add_threads_option();
     if (!args.parse(argc, argv)) {
         return 0;
@@ -172,6 +217,23 @@ int json_main(int argc, char** argv) {
     const bool use_ff = kdc::core::warmup_from_name(args.get_string(
                             "warmup")) == kdc::core::warmup_mode::fast_forward;
     const double level_floor = args.get_double("level-floor");
+    const double sharded_floor = args.get_double("sharded-floor");
+    const auto repeats =
+        std::max<std::uint64_t>(
+            static_cast<std::uint64_t>(args.get_int("repeat")), 1);
+
+    if (args.get_flag("verbose")) {
+        const auto& topo = kdc::core::shard_auto_config();
+        std::cerr << "shards=auto topology: "
+                  << (topo.detected
+                          ? "L2 " + std::to_string(topo.l2_bytes) + " B"
+                          : std::string("L2 undetected (default window)"))
+                  << ", window " << topo.window_bins << " bins, n=" << big_n
+                  << " -> "
+                  << kdc::core::resolve_shard_count(
+                         std::max<std::uint64_t>(big_n, 1), 0)
+                  << " shards\n";
+    }
 
     // The warmup=ff level cells go through the same declarative factory the
     // benches use; only n >= 10^7 cells qualify (below that the warmup is
@@ -208,23 +270,23 @@ int json_main(int argc, char** argv) {
             const std::uint64_t balls =
                 balls_factor * kdc::core::whole_rounds_balls(n, cfg.k);
             cells.push_back(time_cell(
-                "perbin", "full", n, cfg.k, cfg.d, balls, [&] {
+                "perbin", "full", n, cfg.k, cfg.d, balls, repeats, [&] {
                     return kdc::core::kd_choice_process(n, cfg.k, cfg.d,
                                                         seed);
                 }));
             if (use_ff && n >= 10'000'000) {
                 cells.push_back(time_cell(
-                    "level", "ff", n, cfg.k, cfg.d, balls,
+                    "level", "ff", n, cfg.k, cfg.d, balls, repeats,
                     [&] { return make_ff_level(n, cfg.k, cfg.d); }));
             } else {
                 cells.push_back(time_cell(
-                    "level", "full", n, cfg.k, cfg.d, balls, [&] {
+                    "level", "full", n, cfg.k, cfg.d, balls, repeats, [&] {
                         return kdc::core::kd_choice_level_process(
                             n, cfg.k, cfg.d, seed);
                     }));
             }
             cells.push_back(time_cell(
-                "sharded", "full", n, cfg.k, cfg.d, balls, [&] {
+                "sharded", "full", n, cfg.k, cfg.d, balls, repeats, [&] {
                     kdc::core::sharded_kd_process process(n, cfg.k, cfg.d,
                                                           seed);
                     process.use_pool(&pool);
@@ -240,12 +302,12 @@ int json_main(int argc, char** argv) {
             huge_factor * kdc::core::whole_rounds_balls(huge_n, k);
         if (use_ff && huge_n >= 10'000'000) {
             cells.push_back(time_cell("level", "ff", huge_n, k, d, balls,
-                                      [&] {
+                                      repeats, [&] {
                                           return make_ff_level(huge_n, k, d);
                                       }));
         } else {
             cells.push_back(time_cell("level", "full", huge_n, k, d, balls,
-                                      [&] {
+                                      repeats, [&] {
                                           return kdc::core::
                                               kd_choice_level_process(
                                                   huge_n, k, d, seed);
@@ -284,7 +346,7 @@ int json_main(int argc, char** argv) {
                           << " with a full warmup\n";
                 retimed.push_back(time_cell(
                     "level", "full", cell.n, cell.k, cell.d, cell.balls,
-                    [&] {
+                    repeats, [&] {
                         return kdc::core::kd_choice_level_process(
                             cell.n, cell.k, cell.d, seed);
                     }));
@@ -376,6 +438,38 @@ int json_main(int argc, char** argv) {
                           << floor_cell->balls_per_sec << " >= "
                           << level_floor << " balls/s at n=" << floor_cell->n
                           << ")\n";
+            }
+        }
+        if (sharded_floor > 0.0) {
+            // Fourth arm: the sharded pipeline's absolute floor, pinned at
+            // (k=1, d=2) — the configuration where the phase pipeline's
+            // edge over serial probing is largest and a regression in any
+            // phase (pregen, gather, select, commit) shows up undiluted.
+            const json_cell* floor_cell = nullptr;
+            for (const auto& cell : cells) {
+                if (cell.kernel == "sharded" && cell.warmup == "full" &&
+                    cell.n >= 10'000'000 && cell.k == 1 && cell.d == 2 &&
+                    (floor_cell == nullptr || cell.n > floor_cell->n)) {
+                    floor_cell = &cell;
+                }
+            }
+            if (floor_cell == nullptr) {
+                std::cerr << "GUARD FAILED: --sharded-floor needs a "
+                             "full-warmup sharded cell with n >= 10^7 at "
+                             "k=1 d=2 (raise --big-n)\n";
+                ok = false;
+            } else if (floor_cell->balls_per_sec < sharded_floor) {
+                std::cerr << "GUARD FAILED: sharded kernel below the floor "
+                             "at n="
+                          << floor_cell->n << " k=1 d=2 ("
+                          << floor_cell->balls_per_sec << " vs floor "
+                          << sharded_floor << " balls/s)\n";
+                ok = false;
+            } else {
+                std::cerr << "guard: sharded floor held ("
+                          << floor_cell->balls_per_sec << " >= "
+                          << sharded_floor << " balls/s at n="
+                          << floor_cell->n << ")\n";
             }
         }
         if (!ok) {

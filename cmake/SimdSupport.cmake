@@ -1,0 +1,15 @@
+# SIMD feature gate for the kernels' vectorized helpers.
+#
+# KDC_SIMD=ON (the default) defines KDC_ENABLE_SIMD on targets opted in via
+# kdc_enable_simd(); the code additionally guards every intrinsic block with
+# the compiler's own ISA macro (e.g. __SSE2__), so no -m flags are added here
+# and binaries never execute instructions the build target does not already
+# guarantee. KDC_SIMD=OFF forces the scalar fallbacks everywhere — useful to
+# benchmark the gain or to rule the intrinsics out when debugging.
+option(KDC_SIMD "Enable SIMD fast paths in the kernels" ON)
+
+function(kdc_enable_simd target)
+    if(KDC_SIMD)
+        target_compile_definitions(${target} PUBLIC KDC_ENABLE_SIMD)
+    endif()
+endfunction()

@@ -21,7 +21,7 @@ namespace {
 /// The full key set of the grammar, for the unknown-key diagnostic.
 constexpr const char* scenario_keys =
     "balls, beta, cap, d, k, kernel, metric, n, par, probe, replacement, "
-    "shards, skew, threshold, warmup";
+    "selpar, shards, skew, threshold, warmup";
 
 std::string join(const std::vector<std::string>& names) {
     std::string out;
@@ -136,6 +136,21 @@ std::uint64_t parse_shards(const std::string& text) {
     const std::uint64_t value = parse_count("shards", text);
     if (value == 0) {
         throw cli_error("scenario key 'shards' must be 'auto' or a positive "
+                        "count, got '" +
+                        text + "'");
+    }
+    return value;
+}
+
+/// selpar = auto | positive count; "auto" is carried as 0 (the
+/// resolve_selection_segments sentinel).
+std::uint64_t parse_selpar(const std::string& text) {
+    if (text == "auto") {
+        return 0;
+    }
+    const std::uint64_t value = parse_count("selpar", text);
+    if (value == 0) {
+        throw cli_error("scenario key 'selpar' must be 'auto' or a positive "
                         "count, got '" +
                         text + "'");
     }
@@ -278,6 +293,8 @@ scenario parse_scenario(std::string_view text, scenario base) {
             sc.par = par_mode_from_name(value);
         } else if (key == "shards") {
             sc.shards = parse_shards(value);
+        } else if (key == "selpar") {
+            sc.selpar = parse_selpar(value);
         } else if (key == "metric") {
             sc.metric = metric_from_name(value);
         } else if (key == "warmup") {
@@ -312,6 +329,12 @@ std::string to_string(const scenario& sc) {
         out << "auto";
     } else {
         out << sc.shards;
+    }
+    out << ",selpar=";
+    if (sc.selpar == 0) {
+        out << "auto";
+    } else {
+        out << sc.selpar;
     }
     out << ",metric=" << metric_name(sc.metric)
         << ",warmup=" << warmup_mode_name(sc.warmup);
@@ -539,10 +562,10 @@ policy_registry::policy_registry() {
                  // pinned replacement=with and d >= 2).
                  if (kernel == kernel_kind::level) {
                      return any_process(sharded_kd_level_process(
-                         sc.n, sc.k, sc.d, seed, sc.shards));
+                         sc.n, sc.k, sc.d, seed, sc.shards, sc.selpar));
                  }
-                 return any_process(sharded_kd_process(sc.n, sc.k, sc.d,
-                                                       seed, sc.shards));
+                 return any_process(sharded_kd_process(
+                     sc.n, sc.k, sc.d, seed, sc.shards, sc.selpar));
              }
              if (kernel == kernel_kind::level) {
                  return any_process(

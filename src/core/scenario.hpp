@@ -46,7 +46,12 @@
 //                 byte-identical output, "kd" family with d >= 2 and
 //                 replacement=with only)
 //   shards      = auto | N  (par=round: shard-count request, resolved via
-//                 resolve_shard_count; auto picks ~one shard per 32k bins)
+//                 resolve_shard_count; auto sizes the shard windows to the
+//                 detected L2 cache — shard_auto_config)
+//   selpar      = auto | N  (par=round: selection-segment request for the
+//                 per-bin sharded kernel's partitioned selection phase,
+//                 resolved per chunk via resolve_selection_segments; output
+//                 is byte-identical for every value)
 //   metric      = max_load | gap | messages  (what adaptive stopping rules
 //                 monitor for cells built from this scenario)
 //   warmup      = full | ff  (full = simulate every ball, the default;
@@ -149,6 +154,7 @@ struct scenario {
     kernel_choice kernel = kernel_choice::auto_pick;
     par_mode par = par_mode::rep;  ///< round = sharded intra-rep kernel
     std::uint64_t shards = 0;      ///< par=round shard request; 0 = auto
+    std::uint64_t selpar = 0;      ///< par=round selection segments; 0 = auto
     metric_kind metric = metric_kind::max_load;
     warmup_mode warmup = warmup_mode::full; ///< ff = steady-state jump
 

@@ -1,5 +1,7 @@
 #include "core/thread_pool.hpp"
 
+#include <algorithm>
+
 #include "rng/splitmix64.hpp"
 #include "support/contracts.hpp"
 
@@ -127,6 +129,29 @@ void thread_pool::run_phase(std::size_t count,
     std::unique_lock<std::mutex> lock(state->mutex);
     state->all_complete.wait(lock,
                              [&] { return state->completed == state->count; });
+}
+
+void thread_pool::run_ranges(
+    std::uint64_t total, std::size_t parts,
+    const std::function<void(std::size_t, std::uint64_t, std::uint64_t)>&
+        body) {
+    if (total == 0 || parts == 0) {
+        return;
+    }
+    run_phase(parts, [total, parts, &body](std::size_t part) {
+        const auto [begin, end] = phase_range(total, parts, part);
+        body(part, begin, end);
+    });
+}
+
+std::pair<std::uint64_t, std::uint64_t>
+thread_pool::phase_range(std::uint64_t total, std::size_t parts,
+                         std::size_t part) noexcept {
+    const std::uint64_t base = total / parts;
+    const std::uint64_t extra = total % parts;
+    const std::uint64_t begin =
+        part * base + std::min<std::uint64_t>(part, extra);
+    return {begin, begin + base + (part < extra ? 1 : 0)};
 }
 
 bool thread_pool::try_pop_front(std::size_t queue_index,

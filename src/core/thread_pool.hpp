@@ -18,6 +18,7 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace kdc::core {
@@ -61,6 +62,25 @@ public:
     /// body are not supported.
     void run_phase(std::size_t count,
                    const std::function<void(std::size_t)>& body);
+
+    /// Partitions [0, total) into `parts` contiguous ranges and runs
+    /// body(part, begin, end) for each across the pool — run_phase with the
+    /// index space pre-sliced by phase_range. The sharded kernel's
+    /// segment-parallel phases (tape pregeneration slices, selection
+    /// segments) are built on this. Same contract as run_phase: the caller
+    /// participates, bodies write disjoint state and must not throw.
+    void run_ranges(std::uint64_t total, std::size_t parts,
+                    const std::function<void(std::size_t, std::uint64_t,
+                                             std::uint64_t)>& body);
+
+    /// The [begin, end) slice part `part` owns when [0, total) is dealt
+    /// into `parts` contiguous ranges: floor(total/parts) each, +1 for the
+    /// first total mod parts — the same dealing rule as shard_layout, so
+    /// range partitions and bin shards slice identically. Deterministic,
+    /// pool-independent. Requires part < parts.
+    [[nodiscard]] static std::pair<std::uint64_t, std::uint64_t>
+    phase_range(std::uint64_t total, std::size_t parts,
+                std::size_t part) noexcept;
 
     [[nodiscard]] unsigned size() const noexcept {
         return static_cast<unsigned>(workers_.size());

@@ -64,12 +64,57 @@ public:
             if (static_cast<std::uint64_t>(m) >= threshold_) {
                 return static_cast<std::uint64_t>(m >> 64);
             }
+            ++rejected_; // cold: P(reject) = threshold / 2^64 < bound / 2^64
         }
+    }
+
+    // -- Introspection for exact parallel replay (core/sharded_kernel.cpp).
+    //
+    // A worker reconstructing the sampler state a known number of draws
+    // ahead needs three things: how far the current refill block has been
+    // consumed, a way to reposition inside a block it regenerated itself,
+    // and a rejection count to detect when the no-rejection position
+    // arithmetic was violated (and fall back to a serial replay).
+
+    /// Words refilled per generator burst: next() consumes the generator in
+    /// blocks of exactly this many calls.
+    static constexpr std::size_t block_size = 256;
+
+    /// Unconsumed words left in the current refill block (0 when the next
+    /// draw triggers a refill).
+    [[nodiscard]] std::size_t buffered() const noexcept {
+        return buffer_.size() - pos_;
+    }
+
+    /// Discards `count` buffered words as if next() had drawn (and
+    /// accepted) them. Requires count <= buffered().
+    void drop(std::size_t count) {
+        KD_EXPECTS(count <= buffered());
+        pos_ += count;
+    }
+
+    /// Forces an immediate refill block (256 generator calls), discarding
+    /// any buffered words — the state right after next()'s own refill.
+    template <bit_generator_64 G>
+    void refill(G& gen) {
+        for (auto& word : buffer_) {
+            word = gen();
+        }
+        pos_ = 0;
+    }
+
+    /// Rejected (re-drawn) words since construction. Monotone; the Lemire
+    /// rejection probability is bound / 2^64 per draw, so this stays 0 for
+    /// any realistic run length — which is exactly what the parallel tape
+    /// pregeneration asserts before trusting its reconstruction.
+    [[nodiscard]] std::uint64_t rejections() const noexcept {
+        return rejected_;
     }
 
 private:
     std::uint64_t bound_;
     std::uint64_t threshold_ = 0;
+    std::uint64_t rejected_ = 0;
     std::array<std::uint64_t, 256> buffer_{};
     std::size_t pos_ = buffer_.size(); // first next() triggers a fill
 };

@@ -1,0 +1,83 @@
+#include "rng/xoshiro_skip.hpp"
+
+#include <array>
+#include <bit>
+
+namespace kdc::rng {
+
+namespace {
+
+/// 256x256 GF(2) matrix in column form: col[j] is the next state produced
+/// from the basis state with only bit j set (bit b = state word b/64, bit
+/// b%64). Applying the matrix XORs together the columns of the set bits.
+struct state_matrix {
+    std::array<std::array<std::uint64_t, 4>, 256> col;
+};
+
+std::array<std::uint64_t, 4> apply(const state_matrix& m,
+                                   const std::array<std::uint64_t, 4>& s) {
+    std::array<std::uint64_t, 4> acc{};
+    for (std::size_t w = 0; w < 4; ++w) {
+        std::uint64_t word = s[w];
+        while (word != 0) {
+            const auto bit = static_cast<std::size_t>(std::countr_zero(word));
+            word &= word - 1;
+            const auto& c = m.col[w * 64 + bit];
+            acc[0] ^= c[0];
+            acc[1] ^= c[1];
+            acc[2] ^= c[2];
+            acc[3] ^= c[3];
+        }
+    }
+    return acc;
+}
+
+/// One generator step on a raw state vector — the state_ update of
+/// xoshiro256ss::operator() with the output scrambler dropped (the
+/// scrambler reads state but never feeds back into it).
+std::array<std::uint64_t, 4> step(std::array<std::uint64_t, 4> s) {
+    const std::uint64_t t = s[1] << 17;
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = (s[3] << 45) | (s[3] >> 19);
+    return s;
+}
+
+/// The 64 repeated squares M^(2^j), built once per process. Basis columns
+/// of M come from stepping each unit vector; each squaring applies the
+/// previous matrix to its own columns.
+const std::array<state_matrix, 64>& skip_tables() {
+    static const std::array<state_matrix, 64> tables = [] {
+        std::array<state_matrix, 64> t{};
+        for (std::size_t j = 0; j < 256; ++j) {
+            std::array<std::uint64_t, 4> unit{};
+            unit[j / 64] = std::uint64_t{1} << (j % 64);
+            t[0].col[j] = step(unit);
+        }
+        for (std::size_t p = 1; p < t.size(); ++p) {
+            for (std::size_t j = 0; j < 256; ++j) {
+                t[p].col[j] = apply(t[p - 1], t[p - 1].col[j]);
+            }
+        }
+        return t;
+    }();
+    return tables;
+}
+
+} // namespace
+
+xoshiro256ss xoshiro_skip(const xoshiro256ss& gen, std::uint64_t steps) {
+    std::array<std::uint64_t, 4> state = gen.state();
+    const auto& tables = skip_tables();
+    for (std::size_t bit = 0; steps != 0; ++bit, steps >>= 1) {
+        if ((steps & 1) != 0) {
+            state = apply(tables[bit], state);
+        }
+    }
+    return xoshiro256ss(state);
+}
+
+} // namespace kdc::rng

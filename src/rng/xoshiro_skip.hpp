@@ -1,0 +1,33 @@
+// Arbitrary-N skip-ahead for xoshiro256**.
+//
+// The generator's STATE transition (not its starred output scrambler) is
+// linear over GF(2): every next-state bit is an XOR of current-state bits
+// (shifts, rotates and XORs only). One step is therefore a 256x256 bit
+// matrix M, and advancing by N steps is applying M^N — computable in
+// O(log N) matrix applications from the precomputed squares M^(2^j).
+//
+// This is the same algebra behind xoshiro256ss::jump()/long_jump() (fixed
+// polynomials for N = 2^128 / 2^192); here the exponent is arbitrary, which
+// is what the sharded kernel's parallel tape pregeneration needs: worker w
+// reconstructs the generator state at its slice boundary — a known number
+// of generator calls past the chunk start — without replaying the serial
+// stream (core/sharded_kernel.cpp).
+//
+// Cost model: the 64 square matrices are built once per process (lazy,
+// ~8 KiB each, a few ms total) behind a thread-safe magic static; one
+// skip() is then popcount(N) matrix applications of ~256 conditional
+// 4-word XORs — microseconds, amortized over millions of tape slots.
+#pragma once
+
+#include <cstdint>
+
+#include "rng/xoshiro256ss.hpp"
+
+namespace kdc::rng {
+
+/// Returns a copy of `gen` advanced by exactly `steps` operator() calls.
+/// xoshiro_skip(g, n) == calling g() n times, for every n (0 included).
+[[nodiscard]] xoshiro256ss xoshiro_skip(const xoshiro256ss& gen,
+                                        std::uint64_t steps);
+
+} // namespace kdc::rng

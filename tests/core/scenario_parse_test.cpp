@@ -287,11 +287,27 @@ TEST(ScenarioParse, ParAndShardsKeys) {
               kdc::core::par_mode::rep);
 }
 
+TEST(ScenarioParse, SelparKey) {
+    // Default: auto selection segments, carried as 0.
+    EXPECT_EQ(parse_scenario("kd:n=1024,k=2,d=4").selpar, 0u);
+    EXPECT_EQ(parse_scenario("kd:n=1024,k=2,d=4,selpar=auto").selpar, 0u);
+    EXPECT_EQ(
+        parse_scenario("kd:n=1024,k=2,d=4,par=round,selpar=8").selpar, 8u);
+    EXPECT_EQ(parse_scenario("kd:n=1024,k=2,d=4,selpar=1e2").selpar, 100u);
+    EXPECT_NE(parse_error("kd:n=512,k=2,d=4,selpar=0")
+                  .find("'selpar' must be 'auto' or a positive count"),
+              std::string::npos);
+    EXPECT_NE(parse_error("kd:n=512,k=2,d=4,selpar=many")
+                  .find("'selpar'"),
+              std::string::npos);
+}
+
 TEST(ScenarioParse, ParAndShardsRoundTripThroughToString) {
     for (const char* text :
          {"kd:n=1024,k=2,d=4,par=round,shards=16",
           "kd:n=4096,k=8,d=16,par=round",
-          "kd:n=512,k=2,d=4,shards=7"}) {
+          "kd:n=512,k=2,d=4,shards=7",
+          "kd:n=512,k=2,d=4,par=round,shards=4,selpar=7"}) {
         const auto sc = parse_scenario(text);
         EXPECT_EQ(parse_scenario(kdc::core::to_string(sc)), sc) << text;
     }

@@ -64,9 +64,15 @@ TEST(ShardedLoadsView, SpansTileTheLoadVector) {
 }
 
 TEST(ResolveShardCount, AutoScalesWithBinsAndClampsRequests) {
-    EXPECT_EQ(resolve_shard_count(1000, 0), 1u);       // below one window
-    EXPECT_EQ(resolve_shard_count(1u << 20, 0), 32u);  // n / 32768
-    EXPECT_EQ(resolve_shard_count(1u << 30, 0), 4096u); // capped
+    // Auto is window-relative: one shard per shard_auto_config().window_bins
+    // bins, whatever the detected cache topology chose for the window.
+    const std::uint64_t window = shard_auto_config().window_bins;
+    EXPECT_GE(window, 32768u); // never below the historical constant
+    EXPECT_LE(window, std::uint64_t{1} << 20);
+    EXPECT_EQ(resolve_shard_count(window - 1, 0), 1u); // below one window
+    EXPECT_EQ(resolve_shard_count(32 * window, 0), 32u);
+    EXPECT_EQ(resolve_shard_count(std::uint64_t{8192} * window, 0),
+              4096u);                                  // capped
     EXPECT_EQ(resolve_shard_count(1000, 64), 64u);     // explicit honoured
     EXPECT_EQ(resolve_shard_count(1000, 5000), 1000u); // clamped to n
     EXPECT_EQ(resolve_shard_count(100000, 100000), 4096u); // global cap

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <mutex>
 #include <set>
@@ -55,6 +56,50 @@ std::set<std::thread::id> worker_ids_during_sweep(unsigned threads) {
     options.threads = threads;
     (void)run_sweep(cells, options);
     return ids;
+}
+
+TEST(ThreadPool, PhaseRangeDealsLikeShardLayout) {
+    for (const std::uint64_t total : {1ull, 7ull, 64ull, 1001ull}) {
+        for (std::size_t parts = 1; parts <= 9; ++parts) {
+            std::uint64_t cursor = 0;
+            std::uint64_t previous_size = total; // sizes are non-increasing
+            for (std::size_t part = 0; part < parts; ++part) {
+                const auto [begin, end] =
+                    thread_pool::phase_range(total, parts, part);
+                EXPECT_EQ(begin, cursor);
+                EXPECT_GE(end, begin);
+                EXPECT_LE(end - begin, previous_size);
+                previous_size = end - begin;
+                cursor = end;
+            }
+            EXPECT_EQ(cursor, total);
+        }
+    }
+}
+
+TEST(ThreadPool, RunRangesCoversEveryIndexExactlyOnce) {
+    thread_pool pool(4);
+    std::vector<std::uint32_t> hits(1000, 0);
+    pool.run_ranges(hits.size(), 7,
+                    [&](std::size_t, std::uint64_t begin, std::uint64_t end) {
+                        for (std::uint64_t i = begin; i < end; ++i) {
+                            ++hits[i]; // ranges are disjoint: no race
+                        }
+                    });
+    for (const auto hit : hits) {
+        EXPECT_EQ(hit, 1u);
+    }
+    // More parts than indices: the empty tail ranges must be harmless.
+    std::fill(hits.begin(), hits.end(), 0u);
+    pool.run_ranges(5, 9,
+                    [&](std::size_t, std::uint64_t begin, std::uint64_t end) {
+                        for (std::uint64_t i = begin; i < end; ++i) {
+                            ++hits[i];
+                        }
+                    });
+    for (std::size_t i = 0; i < 5; ++i) {
+        EXPECT_EQ(hits[i], 1u);
+    }
 }
 
 TEST(ThreadPool, PersistentPoolReusesWorkersAcrossConsecutiveSweeps) {

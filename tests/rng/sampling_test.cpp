@@ -260,6 +260,48 @@ TEST(BatchedUniform, MarginalIsUniform) {
     EXPECT_GT(result.p_value, 1e-4) << "chi2=" << result.statistic;
 }
 
+TEST(BatchedUniform, BufferedDropAndRefillReconstructMidBlockState) {
+    // The parallel-replay API: a replica that refills from the right
+    // generator position and drops the consumed prefix produces the same
+    // stream as the original sampler mid-block.
+    constexpr std::uint64_t bound = 1000;
+    xoshiro256ss gen(91);
+    kdc::rng::batched_uniform live(bound);
+    EXPECT_EQ(live.buffered(), 0u); // first next() triggers the refill
+    for (int i = 0; i < 100; ++i) {
+        (void)live.next(gen);
+    }
+    ASSERT_EQ(live.rejections(), 0u); // P < 2^-54 per draw at this bound
+    EXPECT_EQ(live.buffered(), kdc::rng::batched_uniform::block_size - 100);
+
+    // Replica: same refill block from a same-seeded generator, then skip
+    // the 100 words the live sampler already consumed.
+    xoshiro256ss replica_gen(91);
+    kdc::rng::batched_uniform replica(bound);
+    replica.refill(replica_gen);
+    replica.drop(100);
+    EXPECT_EQ(replica.buffered(), live.buffered());
+    for (int i = 0; i < 400; ++i) { // crosses the next refill boundary
+        ASSERT_EQ(replica.next(replica_gen), live.next(gen));
+    }
+}
+
+TEST(BatchedUniform, DropPastBufferedViolatesContract) {
+    kdc::rng::batched_uniform batched(7);
+    EXPECT_THROW(batched.drop(1), kdc::contract_violation);
+}
+
+TEST(BatchedUniform, RejectionCounterSeesForcedRejections) {
+    // bound = 2^63 + 1 rejects ~half of all words, so a few hundred draws
+    // must record rejections (the sharded kernel's fallback trigger).
+    xoshiro256ss gen(5);
+    kdc::rng::batched_uniform batched((1ull << 63) + 1);
+    for (int i = 0; i < 256; ++i) {
+        (void)batched.next(gen);
+    }
+    EXPECT_GT(batched.rejections(), 0u);
+}
+
 TEST(BatchedUniform, BoundZeroViolatesContract) {
     EXPECT_THROW(kdc::rng::batched_uniform(0), kdc::contract_violation);
 }

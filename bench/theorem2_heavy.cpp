@@ -61,6 +61,7 @@ int main(int argc, char** argv) {
     args.add_scenario_option();
     args.add_adaptive_options();
     args.add_snapshot_options();
+    args.add_fault_options();
     args.add_option("warmup", "full",
                     "'ff' fast-forwards each run to the steady state "
                     "(see docs/scenario-grammar.md)");
@@ -68,6 +69,7 @@ int main(int argc, char** argv) {
     if (!args.parse(argc, argv)) {
         return 0;
     }
+    kdc::core::arm_faults_from_cli(args);
     const auto reps = static_cast<std::uint32_t>(args.get_int("reps"));
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
     const auto max_factor =

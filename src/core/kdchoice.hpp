@@ -13,6 +13,7 @@
 #include "core/baselines.hpp"   // (1+beta), batched-greedy, adaptive
 #include "core/coupling.hpp"    // Section 3 coupling experiments
 #include "core/exact.hpp"       // exact small-instance distributions
+#include "core/fault_injection.hpp" // deterministic fault-plan sites
 #include "core/level_process.hpp" // level-compressed kernels (huge n)
 #include "core/level_profile.hpp" // counts-per-load-level state
 #include "core/metrics.hpp"     // nu_y / mu_y / sorted loads / gap

@@ -1,10 +1,16 @@
 #include "core/level_profile.hpp"
 
 #include <algorithm>
+#include <iomanip>
 #include <istream>
+#include <iterator>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 #include <string>
+
+#include "support/cli.hpp"
+#include "support/crc32.hpp"
 
 namespace kdc::core {
 
@@ -119,48 +125,107 @@ load_vector level_profile::to_sorted_loads() const {
 namespace {
 
 /// Magic line of the snapshot format; the trailing integer is the version.
+/// Version 2 adds the CRC-32 trailer line ("crc32 <8 hex digits>") over
+/// every preceding byte; version-1 files (no trailer) are refused.
 constexpr const char* snapshot_magic = "kdc-level-profile";
-constexpr int snapshot_version = 1;
+constexpr int snapshot_version = 2;
 
 } // namespace
 
 void level_profile::save(std::ostream& out) const {
     KD_EXPECTS_MSG(remaining_bins() == n_,
                    "cannot snapshot a profile with extracted bins mid-round");
-    out << snapshot_magic << ' ' << snapshot_version << '\n';
-    out << n_ << ' ' << (max_level_ + 1) << '\n';
+    std::ostringstream body;
+    body << snapshot_magic << ' ' << snapshot_version << '\n';
+    body << n_ << ' ' << (max_level_ + 1) << '\n';
     for (std::uint64_t level = 0; level <= max_level_; ++level) {
-        out << counts_[level] << (level == max_level_ ? '\n' : ' ');
+        body << counts_[level] << (level == max_level_ ? '\n' : ' ');
     }
+    const std::string text = body.str();
+    out << text << "crc32 " << std::hex << std::setw(8) << std::setfill('0')
+        << crc32(text) << std::dec << '\n';
     if (!out) {
-        throw std::runtime_error("level_profile snapshot write failed");
+        throw cli_error("level_profile snapshot write failed");
     }
 }
 
+std::string checked_snapshot_body(std::istream& in, const char* what) {
+    const std::string prefix = std::string(what) + " snapshot: ";
+    std::string text{std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>()};
+    // Locate the trailer: the LAST line must be "crc32 <8 hex digits>".
+    // The check runs before any field is parsed, so no corrupted byte —
+    // header, counts or the trailer itself — ever reaches the parser.
+    const auto at = text.rfind("crc32 ");
+    if (at == std::string::npos || (at != 0 && text[at - 1] != '\n')) {
+        throw cli_error(prefix + "missing 'crc32 <hex>' trailer (truncated "
+                                 "file or pre-v2 snapshot?)");
+    }
+    const std::string hex = text.substr(at + 6);
+    if (hex.size() != 9 || hex.back() != '\n') {
+        throw cli_error(prefix + "malformed crc32 trailer '" +
+                        hex.substr(0, 16) + "'");
+    }
+    std::uint32_t stated = 0;
+    for (std::size_t i = 0; i < 8; ++i) {
+        const char c = hex[i];
+        std::uint32_t digit = 0;
+        if (c >= '0' && c <= '9') {
+            digit = static_cast<std::uint32_t>(c - '0');
+        } else if (c >= 'a' && c <= 'f') {
+            digit = static_cast<std::uint32_t>(c - 'a') + 10;
+        } else {
+            throw cli_error(prefix + "malformed crc32 trailer '" + hex +
+                            "' (expected 8 lowercase hex digits)");
+        }
+        stated = (stated << 4) | digit;
+    }
+    const std::string body = text.substr(0, at);
+    const std::uint32_t actual = crc32(body);
+    if (actual != stated) {
+        std::ostringstream msg;
+        msg << prefix << "CRC mismatch (stated " << std::hex << std::setw(8)
+            << std::setfill('0') << stated << ", computed " << std::setw(8)
+            << actual << "): the file is corrupted or truncated";
+        throw cli_error(msg.str());
+    }
+    return body;
+}
+
 level_profile level_profile::load(std::istream& in) {
+    const std::string body = checked_snapshot_body(in, "level_profile");
+    std::istringstream fields(body);
     std::string magic;
     int version = 0;
-    if (!(in >> magic >> version)) {
-        throw std::runtime_error(
+    if (!(fields >> magic >> version)) {
+        throw cli_error(
             "level_profile snapshot: missing header (expected '" +
             std::string(snapshot_magic) + " <version>')");
     }
     if (magic != snapshot_magic) {
-        throw std::runtime_error(
+        throw cli_error(
             "level_profile snapshot: bad magic '" + magic + "' (expected '" +
             std::string(snapshot_magic) + "')");
     }
     if (version != snapshot_version) {
-        throw std::runtime_error(
+        throw cli_error(
             "level_profile snapshot: unsupported version " +
             std::to_string(version) + " (this build reads version " +
             std::to_string(snapshot_version) + ")");
     }
     std::uint64_t n = 0;
     std::uint64_t levels = 0;
-    if (!(in >> n >> levels) || n == 0 || levels == 0) {
-        throw std::runtime_error("level_profile snapshot: malformed bin or "
-                                 "level count");
+    if (!(fields >> n >> levels) || n == 0 || levels == 0) {
+        throw cli_error("level_profile snapshot: malformed bin or "
+                        "level count");
+    }
+    // Every count needs at least two body bytes (digit + separator), so a
+    // declared level count beyond the body size cannot be honest — refuse
+    // it before ensure_levels turns it into a giant allocation.
+    if (levels > body.size()) {
+        throw cli_error("level_profile snapshot: declared level count " +
+                        std::to_string(levels) +
+                        " exceeds what the file could hold");
     }
     level_profile profile(n);
     profile.ensure_levels(levels);
@@ -171,8 +236,8 @@ level_profile level_profile::load(std::istream& in) {
     std::uint64_t bins = 0;
     for (std::uint64_t level = 0; level < levels; ++level) {
         std::uint64_t count = 0;
-        if (!(in >> count)) {
-            throw std::runtime_error(
+        if (!(fields >> count)) {
+            throw cli_error(
                 "level_profile snapshot: expected " + std::to_string(levels) +
                 " per-level counts, got " + std::to_string(level));
         }
@@ -184,8 +249,14 @@ level_profile level_profile::load(std::istream& in) {
             bins += count;
         }
     }
+    fields >> std::ws;
+    if (!fields.eof()) {
+        throw cli_error("level_profile snapshot: trailing data after the "
+                        "declared " +
+                        std::to_string(levels) + " per-level counts");
+    }
     if (bins != n) {
-        throw std::runtime_error(
+        throw cli_error(
             "level_profile snapshot: counts sum to " + std::to_string(bins) +
             " bins but the header promises " + std::to_string(n));
     }

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "core/fenwick.hpp"
@@ -109,16 +110,22 @@ public:
     /// Requires no bin to be extracted.
     [[nodiscard]] load_metrics metrics() const;
 
-    /// Writes a small text snapshot ("kdc-level-profile 1", n, then the
-    /// per-level counts up to max_level) — O(L) bytes even for billion-bin
-    /// runs, which is what makes those runs resumable: save the profile,
-    /// reload it later and hand it to a level process's snapshot
-    /// constructor. Requires no bin to be extracted.
+    /// Writes a small text snapshot (format v2: "kdc-level-profile 2", n
+    /// and the level count, the per-level counts up to max_level, then a
+    /// "crc32 <hex>" trailer over every preceding byte) — O(L) bytes even
+    /// for billion-bin runs, which is what makes those runs resumable:
+    /// save the profile, reload it later and hand it to a level process's
+    /// snapshot constructor. Requires no bin to be extracted. See
+    /// docs/robustness.md for the format.
     void save(std::ostream& out) const;
 
-    /// Reconstructs a profile from a save() snapshot. Throws
-    /// std::runtime_error with a precise message on malformed input (bad
-    /// magic/version, missing fields, counts that do not sum to n).
+    /// Reconstructs a profile from a save() snapshot. The CRC trailer is
+    /// verified BEFORE any field is parsed, so every single-byte
+    /// corruption and every truncation is rejected; throws cli_error
+    /// (support/cli.hpp) with a precise message on any malformed input
+    /// (bad CRC, bad magic/version, missing or surplus fields, counts
+    /// that do not sum to n). Version-1 snapshots (no trailer) are
+    /// refused — regenerate them.
     [[nodiscard]] static level_profile load(std::istream& in);
 
     /// Structural equality: same bins-per-level counts (capacity beyond the
@@ -149,5 +156,15 @@ split_profile(const level_profile& profile, std::uint64_t shards);
 /// bins.
 [[nodiscard]] level_profile
 merge_profiles(const std::vector<level_profile>& shards);
+
+/// Reads a whole CRC-trailed snapshot stream (format v2's shared envelope:
+/// arbitrary text body followed by a final "crc32 <8 hex>" line), verifies
+/// the trailer against the body, and returns the body. Shared by
+/// level_profile::load, weight_profile::load and the snapshot-stage
+/// journal. Throws cli_error — prefixed with `what` — when the trailer is
+/// missing or malformed or the CRC does not match (which catches every
+/// single-byte corruption and every truncation before parsing starts).
+[[nodiscard]] std::string checked_snapshot_body(std::istream& in,
+                                                const char* what);
 
 } // namespace kdc::core

@@ -2,12 +2,15 @@
 
 #include <charconv>
 #include <cmath>
+#include <iostream>
 #include <limits>
+#include <new>
 #include <set>
 #include <sstream>
 #include <utility>
 
 #include "core/baselines.hpp"
+#include "core/fault_injection.hpp"
 #include "core/level_process.hpp"
 #include "core/sharded_kernel.hpp"
 #include "core/steady_state.hpp"
@@ -657,6 +660,27 @@ any_process make_process(const scenario& sc, std::uint64_t seed) {
     }
     const kernel_kind kernel = resolve_kernel(sc);
     const auto& info = policy_registry::instance().at(resolved_policy(sc));
+    if (kernel == kernel_kind::per_bin) {
+        try {
+            fault_point(fault_site::perbin_alloc);
+            return info.make(sc, kernel, seed);
+        } catch (const std::bad_alloc&) {
+            // Graceful degradation: the per-bin kernel's O(n) state is the
+            // only allocation that scales with n, and the level kernel
+            // simulates the SAME distribution whenever the policy has one
+            // and probes are with replacement. Fall back instead of dying;
+            // anything else (or a second failure) propagates.
+            if (!info.supports_level ||
+                sc.replacement != probe_mode::with_replacement) {
+                throw;
+            }
+            std::cerr << "make_process: per-bin state allocation failed for "
+                         "n=" << sc.n
+                      << "; degrading to the level kernel (same "
+                         "distribution, O(max load) state)\n";
+            return info.make(sc, kernel_kind::level, seed);
+        }
+    }
     return info.make(sc, kernel, seed);
 }
 

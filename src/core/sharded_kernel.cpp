@@ -7,6 +7,7 @@
 #include <fstream>
 #include <string>
 
+#include "core/fault_injection.hpp"
 #include "core/process.hpp"
 #include "core/thread_pool.hpp"
 #include "rng/xoshiro_skip.hpp"
@@ -315,14 +316,18 @@ void sharded_kd_process::run_chunk(std::uint64_t rounds) {
     bucket_.resize(slots);
 
     const auto t0 = clock::now();
+    fault_point(fault_site::shard_pregen);
     pregenerate(rounds);
     const auto t1 = clock::now();
+    fault_point(fault_site::shard_bucket);
     bucket_by_shard(rounds);
     const auto t2 = clock::now();
+    fault_point(fault_site::shard_gather);
     for_each_shard_parallel(&sharded_kd_process::gather_shard);
     const auto t3 = clock::now();
     select_rounds(rounds); // accounts its own select/handoff split
     const auto t4 = clock::now();
+    fault_point(fault_site::shard_commit);
     for_each_shard_parallel(&sharded_kd_process::commit_shard);
     const auto t5 = clock::now();
     phase_times_.pregen += seconds_between(t0, t1);
@@ -630,6 +635,7 @@ void sharded_kd_process::gather_shard(std::uint64_t shard) {
 void sharded_kd_process::select_rounds(std::uint64_t rounds) {
     using clock = std::chrono::steady_clock;
     const auto t0 = clock::now();
+    fault_point(fault_site::shard_select);
     const std::uint64_t workers = pool_ != nullptr ? pool_->size() : 1;
     const std::uint64_t parts =
         resolve_selection_segments(rounds, selpar_, workers);
@@ -710,6 +716,7 @@ void sharded_kd_process::select_rounds(std::uint64_t rounds) {
     }
 
     const auto t_handoff = clock::now();
+    fault_point(fault_site::shard_handoff);
     std::size_t entries = cross_list_.size();
     for (const auto& seg : segments_) {
         entries += seg.captures.size();

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/baselines.hpp"
+#include "core/fault_injection.hpp"
 #include "core/level_process.hpp"
 #include "core/sharded_kernel.hpp"
 #include "rng/splitmix64.hpp"
@@ -72,6 +73,7 @@ std::vector<double> pilot_targets(const scenario& sc, const ff_plan& plan,
 
     std::vector<std::uint64_t> acc;
     for (std::uint32_t rep = 0; rep < reps; ++rep) {
+        fault_point(fault_site::steady_pilot);
         const std::uint64_t pilot_seed =
             rng::derive_seed(seed ^ pilot_salt, rep);
         const level_profile profile = [&] {

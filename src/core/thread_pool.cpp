@@ -1,6 +1,7 @@
 #include "core/thread_pool.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "rng/splitmix64.hpp"
 #include "support/contracts.hpp"
@@ -61,6 +62,13 @@ void thread_pool::submit(std::function<void()> job) {
 void thread_pool::wait_idle() {
     std::unique_lock<std::mutex> lock(control_mutex_);
     all_done_.wait(lock, [this] { return in_flight_ == 0; });
+    if (first_error_ != nullptr) {
+        // First exception wins; clearing it here is what keeps the pool
+        // reusable after a throwing batch.
+        const std::exception_ptr error = std::exchange(first_error_, nullptr);
+        lock.unlock();
+        std::rethrow_exception(error);
+    }
 }
 
 namespace {
@@ -71,13 +79,16 @@ namespace {
 struct phase_state {
     std::atomic<std::size_t> next{0};      // next unclaimed index
     std::size_t count = 0;
-    std::mutex mutex;                      // guards completed + cv
+    std::mutex mutex;                      // guards completed + error + cv
     std::condition_variable all_complete;
     std::size_t completed = 0;
+    std::exception_ptr error;              // first body exception, if any
 };
 
 /// Claims and executes indices until none are left; returns how many this
-/// participant finished.
+/// participant finished. A throwing body records the phase's first error
+/// and short-circuits the index counter — the failed index still counts as
+/// finished so the completion barrier is reached, not deadlocked.
 std::size_t drain_phase(phase_state& state,
                         const std::function<void(std::size_t)>& body) {
     std::size_t finished = 0;
@@ -87,7 +98,28 @@ std::size_t drain_phase(phase_state& state,
         if (index >= state.count) {
             return finished;
         }
-        body(index);
+        try {
+            body(index);
+        } catch (...) {
+            {
+                const std::lock_guard<std::mutex> lock(state.mutex);
+                if (state.error == nullptr) {
+                    state.error = std::current_exception();
+                }
+            }
+            // Abandon the unclaimed remainder: bump the counter past the
+            // end so no participant claims another index, and credit this
+            // participant with the failed index plus everything the bump
+            // skipped — the completion count still reaches state.count, so
+            // the barrier is reached, not deadlocked.
+            const std::size_t stop = state.next.exchange(
+                state.count, std::memory_order_relaxed);
+            finished += 1;
+            if (stop < state.count) {
+                finished += state.count - stop;
+            }
+            continue;
+        }
         ++finished;
     }
 }
@@ -129,6 +161,11 @@ void thread_pool::run_phase(std::size_t count,
     std::unique_lock<std::mutex> lock(state->mutex);
     state->all_complete.wait(lock,
                              [&] { return state->completed == state->count; });
+    if (state->error != nullptr) {
+        const std::exception_ptr error = state->error;
+        lock.unlock();
+        std::rethrow_exception(error);
+    }
 }
 
 void thread_pool::run_ranges(
@@ -215,7 +252,14 @@ void thread_pool::worker_loop(unsigned index) {
             // one already visited; yield and rescan.
             std::this_thread::yield();
         }
-        job();
+        try {
+            job();
+        } catch (...) {
+            const std::lock_guard<std::mutex> lock(control_mutex_);
+            if (first_error_ == nullptr) {
+                first_error_ = std::current_exception();
+            }
+        }
         {
             const std::lock_guard<std::mutex> lock(control_mutex_);
             --in_flight_;

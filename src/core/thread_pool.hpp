@@ -14,6 +14,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -28,10 +29,14 @@ namespace kdc::core {
 /// its own deque front-first (FIFO) and, when empty, steals from the back of
 /// a random victim's deque.
 ///
-/// Jobs must not throw (the execution engine wraps user code and captures
-/// the first exception itself). submit() is safe from any thread, including
-/// from inside a running job; wait_idle() must be called from outside the
-/// pool's own workers.
+/// Exception contract: a job that throws does NOT kill its worker. The
+/// pool captures the FIRST exception (later ones are dropped), finishes
+/// draining, and rethrows it from the next wait_idle() call — after which
+/// the pool is clean and fully reusable. run_phase/run_ranges capture and
+/// rethrow their first exception at the phase barrier instead (see
+/// run_phase). submit() is safe from any thread, including from inside a
+/// running job; wait_idle() must be called from outside the pool's own
+/// workers.
 class thread_pool {
 public:
     /// Spawns `threads` workers (>= 1 enforced by contract).
@@ -46,7 +51,9 @@ public:
     /// Enqueues a job for execution on some worker.
     void submit(std::function<void()> job);
 
-    /// Blocks until every submitted job has finished executing.
+    /// Blocks until every submitted job has finished executing, then
+    /// rethrows the first exception any of them threw (clearing it, so the
+    /// pool stays usable afterwards).
     void wait_idle();
 
     /// Runs body(0), body(1), ..., body(count - 1) across the pool and
@@ -58,8 +65,11 @@ public:
     /// jobs, and is therefore safe to call from inside a running job (unlike
     /// wait_idle). Indices are claimed dynamically in an unspecified order;
     /// bodies must write to disjoint state per index (the sharded kernel's
-    /// phases do) and must not throw. Nested run_phase calls from inside a
-    /// body are not supported.
+    /// phases do). A body that throws short-circuits the phase: remaining
+    /// indices are abandoned (already-started ones still finish), the
+    /// barrier completes, and the FIRST exception is rethrown here on the
+    /// calling thread. Nested run_phase calls from inside a body are not
+    /// supported.
     void run_phase(std::size_t count,
                    const std::function<void(std::size_t)>& body);
 
@@ -68,7 +78,8 @@ public:
     /// index space pre-sliced by phase_range. The sharded kernel's
     /// segment-parallel phases (tape pregeneration slices, selection
     /// segments) are built on this. Same contract as run_phase: the caller
-    /// participates, bodies write disjoint state and must not throw.
+    /// participates, bodies write disjoint state, and the first exception a
+    /// body throws is rethrown at the barrier.
     void run_ranges(std::uint64_t total, std::size_t parts,
                     const std::function<void(std::size_t, std::uint64_t,
                                              std::uint64_t)>& body);
@@ -118,6 +129,7 @@ private:
     std::size_t unclaimed_ = 0;  // pushed but not yet claimed by a worker
     std::size_t in_flight_ = 0;  // unclaimed + currently executing jobs
     bool stopping_ = false;
+    std::exception_ptr first_error_;  // first submit()-job exception, if any
 
     std::atomic<std::size_t> next_deque_{0};  // round-robin submit cursor
     std::vector<std::thread> workers_;

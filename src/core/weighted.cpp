@@ -2,9 +2,17 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
 
+#include "core/level_profile.hpp" // checked_snapshot_body (shared trailer)
 #include "rng/sampling.hpp"
 #include "rng/uniform.hpp"
+#include "support/cli.hpp"
+#include "support/crc32.hpp"
 
 namespace kdc::core {
 
@@ -216,6 +224,115 @@ std::vector<double> weight_profile::to_sorted_weights() const {
         out.insert(out.end(), counts_.value_at(it->second), it->first);
     }
     return out;
+}
+
+namespace {
+
+constexpr const char* weight_snapshot_magic = "kdc-weight-profile";
+constexpr int weight_snapshot_version = 1;
+
+} // namespace
+
+void weight_profile::save(std::ostream& out) const {
+    KD_EXPECTS_MSG(remaining_bins() == n_,
+                   "cannot snapshot a profile with extracted bins mid-round");
+    std::ostringstream body;
+    body.precision(std::numeric_limits<double>::max_digits10);
+    body << weight_snapshot_magic << ' ' << weight_snapshot_version << '\n';
+    body << n_ << ' ' << index_.size() << '\n';
+    // Ascending value order: the snapshot is a pure function of the
+    // multiset, independent of slot-creation history.
+    for (const auto& [value, slot] : index_) {
+        body << value << ' ' << counts_.value_at(slot) << '\n';
+    }
+    const std::string text = body.str();
+    out << text << "crc32 " << std::hex << std::setw(8) << std::setfill('0')
+        << crc32(text) << std::dec << '\n';
+    if (!out) {
+        throw cli_error("weight_profile snapshot write failed");
+    }
+}
+
+weight_profile weight_profile::load(std::istream& in) {
+    const std::string body = checked_snapshot_body(in, "weight_profile");
+    std::istringstream fields(body);
+    std::string magic;
+    int version = 0;
+    if (!(fields >> magic >> version)) {
+        throw cli_error(
+            "weight_profile snapshot: missing header (expected '" +
+            std::string(weight_snapshot_magic) + " <version>')");
+    }
+    if (magic != weight_snapshot_magic) {
+        throw cli_error("weight_profile snapshot: bad magic '" + magic +
+                        "' (expected '" + std::string(weight_snapshot_magic) +
+                        "')");
+    }
+    if (version != weight_snapshot_version) {
+        throw cli_error("weight_profile snapshot: unsupported version " +
+                        std::to_string(version) +
+                        " (this build reads version " +
+                        std::to_string(weight_snapshot_version) + ")");
+    }
+    std::uint64_t n = 0;
+    std::uint64_t distinct = 0;
+    if (!(fields >> n >> distinct) || n == 0 || distinct == 0) {
+        throw cli_error("weight_profile snapshot: malformed bin or distinct "
+                        "value count");
+    }
+    if (distinct > body.size()) {
+        throw cli_error("weight_profile snapshot: declared distinct count " +
+                        std::to_string(distinct) +
+                        " exceeds what the file could hold");
+    }
+    weight_profile profile(n);
+    profile.values_.clear();
+    profile.index_.clear();
+    profile.free_slots_.clear();
+    profile.counts_ = fenwick_tree(distinct);
+    profile.total_weight_ = 0.0;
+    std::uint64_t bins = 0;
+    double previous = -1.0;
+    for (std::uint64_t row = 0; row < distinct; ++row) {
+        double value = 0.0;
+        std::uint64_t count = 0;
+        if (!(fields >> value >> count)) {
+            throw cli_error("weight_profile snapshot: expected " +
+                            std::to_string(distinct) +
+                            " '<value> <count>' rows, got " +
+                            std::to_string(row));
+        }
+        if (!std::isfinite(value) || value < 0.0 || value <= previous) {
+            throw cli_error("weight_profile snapshot: values must be "
+                            "non-negative, finite and strictly ascending; "
+                            "row " +
+                            std::to_string(row) + " violates that");
+        }
+        if (count == 0) {
+            throw cli_error("weight_profile snapshot: row " +
+                            std::to_string(row) +
+                            " declares zero bins at its value");
+        }
+        previous = value;
+        const std::size_t slot = profile.values_.size();
+        profile.values_.push_back(value);
+        profile.index_.emplace(value, slot);
+        profile.counts_.add(slot, static_cast<std::int64_t>(count));
+        profile.total_weight_ += value * static_cast<double>(count);
+        bins += count;
+    }
+    fields >> std::ws;
+    if (!fields.eof()) {
+        throw cli_error("weight_profile snapshot: trailing data after the "
+                        "declared " +
+                        std::to_string(distinct) + " rows");
+    }
+    if (bins != n) {
+        throw cli_error("weight_profile snapshot: counts sum to " +
+                        std::to_string(bins) +
+                        " bins but the header promises " + std::to_string(n));
+    }
+    return profile;
 }
 
 // ---------------------------------------------------------------------------

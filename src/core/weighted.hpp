@@ -105,6 +105,20 @@ public:
     /// O(n) output for small-n verification. Requires no bin extracted.
     [[nodiscard]] std::vector<double> to_sorted_weights() const;
 
+    /// Writes a text snapshot ("kdc-weight-profile 1", n and the distinct
+    /// value count, one "<value> <count>" row per distinct weight load in
+    /// ascending value order at max_digits10 precision, then the shared
+    /// "crc32 <hex>" trailer). Doubles round-trip exactly. Requires no bin
+    /// extracted. See docs/robustness.md.
+    void save(std::ostream& out) const;
+
+    /// Reconstructs a profile from a save() snapshot. CRC-gated before
+    /// parsing (every single-byte corruption or truncation is rejected);
+    /// throws cli_error with a precise message on bad magic/version,
+    /// malformed rows, out-of-order or repeated values, or counts that do
+    /// not sum to n.
+    [[nodiscard]] static weight_profile load(std::istream& in);
+
 private:
     std::vector<double> values_;           ///< arena: slot -> value
     fenwick_tree counts_;                  ///< slot -> bins at that value

@@ -78,6 +78,14 @@ void arg_parser::add_snapshot_options() {
                "runs); requires the level kernel");
 }
 
+void arg_parser::add_fault_options() {
+    add_option("inject-faults", "",
+               "deterministic fault plan: 'site:action[@hit]' rules joined "
+               "by ';' (actions: crash, io_error, alloc_fail; e.g. "
+               "'snapshot.rename:crash@1'); the KDC_FAULTS environment "
+               "variable wins over this option — see docs/robustness.md");
+}
+
 unsigned arg_parser::get_threads() const {
     const std::int64_t value = get_int("threads");
     if (value < 0 ||

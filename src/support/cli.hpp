@@ -64,6 +64,13 @@ public:
     /// consumes them.
     void add_snapshot_options();
 
+    /// Declares `--inject-faults`: a deterministic fault plan
+    /// ("site:action[@hit]" rules joined by ';' — see
+    /// core/fault_injection.hpp and docs/robustness.md). The KDC_FAULTS
+    /// environment variable overrides the option when set and non-empty.
+    /// core::arm_faults_from_cli consumes it.
+    void add_fault_options();
+
     /// Declares the standard `--scenario` option: one declarative string
     /// ("kd:n=1e6,k=2,d=4,kernel=auto") that overrides the binary's legacy
     /// flags key by key. Parsed and merged by core::scenario_from_cli

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -9,13 +10,24 @@
 
 #include "core/level_process.hpp"
 #include "core/metrics.hpp"
+#include "support/cli.hpp"
 #include "support/contracts.hpp"
+#include "support/crc32.hpp"
 
 namespace {
 
 using kdc::core::compute_load_metrics;
 using kdc::core::level_profile;
 using kdc::core::load_vector;
+
+/// Appends the format-v2 CRC trailer to a hand-written snapshot body, so a
+/// test can exercise the PARSER's rejections (bad magic, bad sums, ...)
+/// without the CRC gate masking them.
+std::string with_crc(const std::string& body) {
+    char hex[16];
+    std::snprintf(hex, sizeof hex, "%08x", kdc::crc32(body));
+    return body + "crc32 " + hex + "\n";
+}
 
 TEST(LevelProfile, FreshProfileIsAllEmptyBins) {
     level_profile profile(5);
@@ -184,21 +196,35 @@ TEST(LevelProfileSnapshot, RefusesExtractedBinsAndMalformedInput) {
         std::stringstream in(text);
         return level_profile::load(in);
     };
-    EXPECT_THROW((void)load_of(""), std::runtime_error);
-    EXPECT_THROW((void)load_of("not-a-profile 1\n4 1\n4\n"),
-                 std::runtime_error);
-    EXPECT_THROW((void)load_of("kdc-level-profile 9\n4 1\n4\n"),
-                 std::runtime_error);
-    EXPECT_THROW((void)load_of("kdc-level-profile 1\n0 1\n"),
-                 std::runtime_error);
+    // No trailer at all (empty file, or a pre-v2 snapshot).
+    EXPECT_THROW((void)load_of(""), kdc::cli_error);
+    EXPECT_THROW((void)load_of("kdc-level-profile 1\n4 2\n3 1\n"),
+                 kdc::cli_error);
+    // Structural errors behind a CORRECT trailer, so the parser (not the
+    // CRC gate) is what rejects them.
+    EXPECT_THROW((void)load_of(with_crc("not-a-profile 2\n4 1\n4\n")),
+                 kdc::cli_error);
+    EXPECT_THROW((void)load_of(with_crc("kdc-level-profile 9\n4 1\n4\n")),
+                 kdc::cli_error);
+    EXPECT_THROW((void)load_of(with_crc("kdc-level-profile 2\n0 1\n")),
+                 kdc::cli_error);
     // Truncated count list.
-    EXPECT_THROW((void)load_of("kdc-level-profile 1\n4 2\n3\n"),
-                 std::runtime_error);
+    EXPECT_THROW((void)load_of(with_crc("kdc-level-profile 2\n4 2\n3\n")),
+                 kdc::cli_error);
     // Counts that do not sum to n.
-    EXPECT_THROW((void)load_of("kdc-level-profile 1\n4 2\n1 1\n"),
-                 std::runtime_error);
-    // A well-formed snapshot loads.
-    const auto ok = load_of("kdc-level-profile 1\n4 2\n3 1\n");
+    EXPECT_THROW((void)load_of(with_crc("kdc-level-profile 2\n4 2\n1 1\n")),
+                 kdc::cli_error);
+    // Surplus fields after the declared counts.
+    EXPECT_THROW(
+        (void)load_of(with_crc("kdc-level-profile 2\n4 2\n3 1 9\n")),
+        kdc::cli_error);
+    // A declared level count no honest file could hold (caught before it
+    // becomes a giant allocation).
+    EXPECT_THROW(
+        (void)load_of(with_crc("kdc-level-profile 2\n4 999999999999\n3 1\n")),
+        kdc::cli_error);
+    // A well-formed v2 snapshot loads.
+    const auto ok = load_of(with_crc("kdc-level-profile 2\n4 2\n3 1\n"));
     EXPECT_EQ(ok.n(), 4u);
     EXPECT_EQ(ok.bins_at(1), 1u);
     EXPECT_EQ(ok.max_level(), 1u);

@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <set>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -140,6 +142,86 @@ TEST(ThreadPool, PersistentPoolResizesOnlyWhenTheRequestChanges) {
 
 TEST(ThreadPool, PersistentPoolResolvesZeroToHardwareThreads) {
     EXPECT_EQ(persistent_pool(0).size(), resolve_thread_count(0));
+}
+
+TEST(ThreadPool, SubmitExceptionRethrowsAtWaitIdleAndPoolStaysUsable) {
+    thread_pool pool(3);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 8; ++i) {
+        pool.submit([&ran, i] {
+            if (i == 4) {
+                throw std::runtime_error("job 4 failed");
+            }
+            ++ran;
+        });
+    }
+    try {
+        pool.wait_idle();
+        FAIL() << "wait_idle should rethrow the job's exception";
+    } catch (const std::runtime_error& err) {
+        EXPECT_STREQ(err.what(), "job 4 failed");
+    }
+    EXPECT_EQ(ran.load(), 7);
+
+    // The error is cleared on rethrow: the pool is reusable and a clean
+    // second batch neither throws nor resurrects the old exception.
+    ran = 0;
+    for (int i = 0; i < 8; ++i) {
+        pool.submit([&ran] { ++ran; });
+    }
+    EXPECT_NO_THROW(pool.wait_idle());
+    EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ThreadPool, FirstSubmitExceptionWinsWhenManyJobsThrow) {
+    thread_pool pool(4);
+    for (int i = 0; i < 32; ++i) {
+        pool.submit([] { throw std::runtime_error("boom"); });
+    }
+    EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+    // Exactly one exception is kept; the rest were swallowed, and the
+    // pool drains clean afterwards.
+    EXPECT_NO_THROW(pool.wait_idle());
+}
+
+TEST(ThreadPool, RunPhaseBodyExceptionRethrowsAtTheBarrier) {
+    thread_pool pool(4);
+    std::atomic<std::uint32_t> executed{0};
+    try {
+        pool.run_phase(64, [&](std::size_t index) {
+            if (index == 10) {
+                throw std::runtime_error("phase body 10 failed");
+            }
+            ++executed;
+        });
+        FAIL() << "run_phase should rethrow the body's exception";
+    } catch (const std::runtime_error& err) {
+        EXPECT_STREQ(err.what(), "phase body 10 failed");
+    }
+    // The thrower short-circuits the remaining indices, so not all 63
+    // healthy bodies need have run — but the barrier completed (we are
+    // here) and nothing ran twice.
+    EXPECT_LE(executed.load(), 63u);
+
+    // The next phase on the same pool is clean and complete.
+    executed = 0;
+    EXPECT_NO_THROW(pool.run_phase(64, [&](std::size_t) { ++executed; }));
+    EXPECT_EQ(executed.load(), 64u);
+}
+
+TEST(ThreadPool, RunPhaseFirstExceptionWinsUnderConcurrentThrowers) {
+    thread_pool pool(4);
+    for (int round = 0; round < 20; ++round) {
+        EXPECT_THROW(pool.run_phase(16,
+                                    [](std::size_t) {
+                                        throw std::runtime_error("any");
+                                    }),
+                     std::runtime_error);
+        // Each failed phase leaves the pool reusable for the next round.
+    }
+    std::atomic<std::uint32_t> executed{0};
+    pool.run_phase(16, [&](std::size_t) { ++executed; });
+    EXPECT_EQ(executed.load(), 16u);
 }
 
 TEST(ThreadPool, SpawnCounterTracksPrivatePools) {

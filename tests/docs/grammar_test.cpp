@@ -10,6 +10,7 @@
 // KDC_DOCS_DIR is injected by tests/CMakeLists.txt and points at the
 // source-tree docs/ directory.
 
+#include "core/fault_injection.hpp"
 #include "core/scenario.hpp"
 #include "support/cli.hpp"
 
@@ -164,6 +165,78 @@ TEST(DocsGrammar, ErrorCatalogCoversUnknownKeyMessage) {
     }
     EXPECT_NE(page.find(expected), std::string::npos)
         << "docs error catalog is missing or stale: " << expected;
+}
+
+// ---------------------------------------------------------------------------
+// docs/robustness.md: the fault-site catalog and example plans are checked
+// against core/fault_injection.hpp the same way the grammar page is checked
+// against the scenario parser.
+// ---------------------------------------------------------------------------
+
+std::string read_robustness_page() {
+    const std::string path = std::string(KDC_DOCS_DIR) + "/robustness.md";
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "cannot open " << path;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+// First backticked cell of each `| \`...\` |` table row inside the named
+// "## ..." section (up to the next "## " heading).
+std::vector<std::string> section_row_cells(const std::string& page,
+                                           const std::string& heading) {
+    std::vector<std::string> cells;
+    std::istringstream lines(page);
+    std::string line;
+    bool inside = false;
+    while (std::getline(lines, line)) {
+        if (line.rfind("## ", 0) == 0) {
+            inside = line == heading;
+            continue;
+        }
+        if (inside && line.rfind("| `", 0) == 0) {
+            const auto close = line.find('`', 3);
+            if (close != std::string::npos) {
+                cells.push_back(line.substr(3, close - 3));
+            }
+        }
+    }
+    return cells;
+}
+
+TEST(DocsRobustness, FaultSiteTableMatchesTheImplementationExactly) {
+    const auto documented =
+        section_row_cells(read_robustness_page(), "## Fault sites");
+    const auto actual = kdc::core::fault_site_names();
+    ASSERT_FALSE(documented.empty());
+    // Same names, same order: the table IS the catalog.
+    ASSERT_EQ(documented.size(), actual.size())
+        << "docs/robustness.md site table has drifted from "
+           "fault_site_names()";
+    for (std::size_t i = 0; i < actual.size(); ++i) {
+        EXPECT_EQ(documented[i], actual[i]) << "row " << i;
+    }
+}
+
+TEST(DocsRobustness, EveryExamplePlanParses) {
+    const auto plans =
+        section_row_cells(read_robustness_page(), "## Example plans");
+    ASSERT_FALSE(plans.empty());
+    for (const std::string& plan : plans) {
+        SCOPED_TRACE("plan '" + plan + "'");
+        EXPECT_NO_THROW((void)kdc::core::fault_plan::parse(plan));
+    }
+}
+
+TEST(DocsRobustness, GrammarActionsAreTranscribedVerbatim) {
+    const std::string page = read_robustness_page();
+    for (const char* needle :
+         {"'crash' | 'io_error' | 'alloc_fail'", "KDC_FAULTS",
+          "--inject-faults", "crc32 <8 lowercase hex digits>"}) {
+        EXPECT_NE(page.find(needle), std::string::npos)
+            << "docs/robustness.md lost the load-bearing text: " << needle;
+    }
 }
 
 }  // namespace

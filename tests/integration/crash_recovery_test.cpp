@@ -1,0 +1,229 @@
+// Kill/resume harness for the snapshot pipeline: for one snapshot-path
+// fault site, run a heavy-bench staging campaign three ways —
+//
+//   A. uninterrupted, in a clean directory;
+//   B. with KDC_FAULTS=<site>:crash@1 (the stage is SIGKILLed mid-flight),
+//      then resumed by simply rerunning the same command;
+//   C. (replay check) rerunning B's committed stage once more, which must
+//      replay the journal instead of simulating.
+//
+// The recovered campaign must match the uninterrupted one BYTE FOR BYTE:
+// every stage's stdout and every snapshot file. Not a gtest binary — it is
+// a subprocess driver, registered once per (site, threads) cell by CMake:
+//
+//   crash_recovery_test <bench> <site> <threads>
+//   crash_recovery_test --check-sites "<semicolon-joined site list>"
+//
+// The --check-sites form pins CMake's test matrix to
+// kdc::core::snapshot_path_sites(): adding a snapshot-path site without
+// adding its matrix entry fails the suite.
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <sys/wait.h>
+#include <vector>
+
+#include "core/fault_injection.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+int failures = 0;
+
+void check(bool ok, const std::string& what) {
+    if (ok) {
+        std::cout << "ok: " << what << "\n";
+    } else {
+        std::cout << "FAIL: " << what << "\n";
+        ++failures;
+    }
+}
+
+std::string read_file(const fs::path& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+/// One staged invocation of the bench: the command runs with `dir` as its
+/// working directory so snapshot paths inside outputs are relative and the
+/// byte comparison between directories is meaningful.
+struct stage {
+    std::string scenario;
+    std::string resume;       // empty: fresh stage
+    std::string snapshot_out; // always set
+    std::string stdout_file;
+};
+
+int run_stage(const fs::path& dir, const std::string& bench,
+              const stage& st, const std::string& env_faults,
+              unsigned threads) {
+    std::ostringstream cmd;
+    cmd << "cd " << dir << " && ";
+    if (!env_faults.empty()) {
+        cmd << "KDC_FAULTS='" << env_faults << "' ";
+    }
+    cmd << "'" << bench << "'"
+        << " --scenario='" << st.scenario << "'"
+        << " --seed=7 --threads=" << threads
+        << " --snapshot-out=" << st.snapshot_out;
+    if (!st.resume.empty()) {
+        cmd << " --resume=" << st.resume;
+    }
+    cmd << " > " << st.stdout_file << " 2> " << st.stdout_file << ".err";
+    const int status = std::system(cmd.str().c_str());
+    if (status == -1) {
+        return -1;
+    }
+    return WIFEXITED(status) ? WEXITSTATUS(status) : 128 + WTERMSIG(status);
+}
+
+/// Builds the staged campaign that exercises `site`. Resume-path sites need
+/// a two-stage campaign (the fault fires while stage 2 loads stage 1's
+/// snapshot); steady.pilot needs a warmup=ff stage so the pilot loop runs.
+std::vector<stage> campaign_for(const std::string& site) {
+    const std::string plain = "kd:n=4096,k=2,d=4,kernel=level";
+    const std::string ff =
+        "kd:n=4096,k=2,d=4,kernel=level,warmup=ff,balls=65536";
+    std::vector<stage> stages;
+    if (site == "resume.load" || site == "resume.validate") {
+        stages.push_back({plain, "", "s1.profile", "s1.out"});
+        stages.push_back({plain, "s1.profile", "s2.profile", "s2.out"});
+    } else if (site == "steady.pilot") {
+        stages.push_back({ff, "", "s1.profile", "s1.out"});
+    } else {
+        stages.push_back({plain, "", "s1.profile", "s1.out"});
+    }
+    return stages;
+}
+
+int check_sites(const std::string& joined) {
+    std::set<std::string> listed;
+    std::string item;
+    std::istringstream in(joined);
+    while (std::getline(in, item, ';')) {
+        if (!item.empty()) {
+            listed.insert(item);
+        }
+    }
+    std::set<std::string> actual;
+    for (const auto site : kdc::core::snapshot_path_sites()) {
+        actual.insert(kdc::core::fault_site_name(site));
+    }
+    for (const auto& name : actual) {
+        check(listed.count(name) == 1,
+              "snapshot-path site '" + name +
+                  "' has a crash-recovery matrix entry");
+    }
+    for (const auto& name : listed) {
+        check(actual.count(name) == 1,
+              "matrix entry '" + name + "' names a real snapshot-path site");
+    }
+    return failures == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    if (argc == 3 && std::string(argv[1]) == "--check-sites") {
+        return check_sites(argv[2]);
+    }
+    if (argc != 4) {
+        std::cerr << "usage: " << argv[0]
+                  << " <bench> <site> <threads> | --check-sites <list>\n";
+        return 2;
+    }
+    const std::string bench = fs::absolute(argv[1]).string();
+    const std::string site = argv[2];
+    const unsigned threads =
+        static_cast<unsigned>(std::strtoul(argv[3], nullptr, 10));
+
+    bool known = false;
+    for (const auto s : kdc::core::snapshot_path_sites()) {
+        known = known || site == kdc::core::fault_site_name(s);
+    }
+    if (!known) {
+        std::cerr << "unknown snapshot-path site '" << site << "'\n";
+        return 2;
+    }
+
+    const fs::path root =
+        fs::current_path() / ("crash_recovery." + site + ".t" +
+                              std::to_string(threads));
+    fs::remove_all(root);
+    const fs::path clean_dir = root / "clean";
+    const fs::path crash_dir = root / "crashed";
+    fs::create_directories(clean_dir);
+    fs::create_directories(crash_dir);
+
+    const auto stages = campaign_for(site);
+    const std::size_t victim = stages.size() - 1; // fault hits the last stage
+
+    // A: the uninterrupted campaign.
+    for (const auto& st : stages) {
+        const int code = run_stage(clean_dir, bench, st, "", threads);
+        check(code == 0, "clean stage (" + st.stdout_file +
+                             ") exits 0, got " + std::to_string(code));
+    }
+
+    // B: same campaign, but the victim stage is SIGKILLed by the injected
+    // crash on its first pass through `site`...
+    for (std::size_t i = 0; i < victim; ++i) {
+        const int code = run_stage(crash_dir, bench, stages[i], "", threads);
+        check(code == 0, "pre-fault stage exits 0, got " +
+                             std::to_string(code));
+    }
+    const int killed = run_stage(crash_dir, bench, stages[victim],
+                                 site + ":crash@1", threads);
+    check(killed == 137, "injected crash at " + site +
+                             " kills the stage (expect 137, got " +
+                             std::to_string(killed) + ")");
+
+    // ...and recovered by plainly rerunning the command, fault disarmed.
+    const int resumed = run_stage(crash_dir, bench, stages[victim], "",
+                                  threads);
+    check(resumed == 0, "recovery rerun exits 0, got " +
+                            std::to_string(resumed));
+
+    // The recovered campaign matches the uninterrupted one byte for byte.
+    for (const auto& st : stages) {
+        const auto a_out = read_file(clean_dir / st.stdout_file);
+        const auto b_out = read_file(crash_dir / st.stdout_file);
+        check(!a_out.empty() && a_out == b_out,
+              "stage stdout " + st.stdout_file + " is byte-identical");
+        const auto a_snap = read_file(clean_dir / st.snapshot_out);
+        const auto b_snap = read_file(crash_dir / st.snapshot_out);
+        check(!a_snap.empty() && a_snap == b_snap,
+              "snapshot " + st.snapshot_out + " is byte-identical");
+    }
+
+    // C: the committed stage replays from its journal — stdout identical
+    // again, and the stage says so on stderr.
+    const int replay = run_stage(crash_dir, bench, stages[victim], "",
+                                 threads);
+    check(replay == 0, "replay rerun exits 0, got " + std::to_string(replay));
+    check(read_file(crash_dir / stages[victim].stdout_file) ==
+              read_file(clean_dir / stages[victim].stdout_file),
+          "replayed stdout is byte-identical");
+    const auto err =
+        read_file(crash_dir / (stages[victim].stdout_file + ".err"));
+    check(err.find("stage already committed") != std::string::npos,
+          "replay came from the journal, not a re-simulation");
+
+    if (failures == 0) {
+        fs::remove_all(root); // keep the tree only on failure, for triage
+        std::cout << "crash recovery at " << site << " (threads=" << threads
+                  << "): all checks passed\n";
+        return 0;
+    }
+    std::cout << failures << " check(s) failed; artifacts kept in " << root
+              << "\n";
+    return 1;
+}

@@ -11,9 +11,12 @@
 //                         [--scenario "kd:n=256,k=4"]
 //
 // --scenario (core/scenario.hpp) maps onto the cluster: n = workers,
-// k = tasks per job — equivalent settings print byte-identical output to
-// the legacy flags.
+// k = tasks per job, d = comparison (a)'s probe budget per job (the
+// per-task arm gets d/k probes per task; default d = 2k) — equivalent
+// settings print byte-identical output to the legacy flags.
+#include <algorithm>
 #include <iostream>
+#include <string_view>
 #include <vector>
 
 #include "core/scenario.hpp"
@@ -22,6 +25,30 @@
 #include "support/text_table.hpp"
 
 namespace {
+
+/// True when the --scenario text itself names key `d`. The bench derives
+/// its default probe budget from k (d = 2k), so a scenario overriding k
+/// WITHOUT naming d must re-derive — merged.d would be the stale base
+/// default, not the user's intent. Mirrors parse_scenario's grammar
+/// (optional family prefix, comma-separated key=value pairs).
+bool scenario_sets_d(std::string_view text) {
+    const auto colon = text.find(':');
+    if (colon != std::string_view::npos && colon < text.find('=') &&
+        colon < text.find(',')) {
+        text.remove_prefix(colon + 1);
+    }
+    while (!text.empty()) {
+        const auto comma = text.find(',');
+        const std::string_view pair = text.substr(0, comma);
+        text = comma == std::string_view::npos ? std::string_view{}
+                                               : text.substr(comma + 1);
+        const auto eq = pair.find('=');
+        if (eq != std::string_view::npos && pair.substr(0, eq) == "d") {
+            return true;
+        }
+    }
+    return false;
+}
 
 kdc::sched::scheduler_result run_one(std::uint64_t workers,
                                      std::uint64_t jobs, std::uint64_t k,
@@ -56,8 +83,10 @@ int main(int argc, char** argv) {
     const auto jobs = static_cast<std::uint64_t>(args.get_int("jobs"));
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
 
-    // Scenario mapping: n = workers, k = tasks per job. The probe budgets
-    // below derive from k exactly as the paper's Section 1.3 comparison.
+    // Scenario mapping: n = workers, k = tasks per job, d = comparison
+    // (a)'s equal message budget per job (per-task arm: d/k probes per
+    // task). The d = 2k default reproduces the paper's Section 1.3
+    // comparison and the bench's historical output byte for byte.
     kdc::core::scenario base;
     base.n = static_cast<std::uint64_t>(args.get_int("workers"));
     base.k = static_cast<std::uint64_t>(args.get_int("k"));
@@ -65,6 +94,10 @@ int main(int argc, char** argv) {
     const auto merged = kdc::core::scenario_from_cli(args, base);
     const auto workers = merged.n;
     const auto k = merged.k;
+    const auto d_budget = scenario_sets_d(args.get_string("scenario"))
+                              ? merged.d
+                              : 2 * k;
+    const auto d_per_task = std::max<std::uint64_t>(1, d_budget / k);
 
     const std::vector<double> utilizations{0.3, 0.5, 0.7, 0.85};
 
@@ -83,13 +116,13 @@ int main(int argc, char** argv) {
     budget_table.set_align(1, kdc::table_align::left);
     std::uint64_t run_seed = seed;
     for (const double util : utilizations) {
-        const auto shared = run_one(workers, jobs, k, 2 * k,
+        const auto shared = run_one(workers, jobs, k, d_budget,
                                     probe_strategy::batch_kd_choice, util,
                                     ++run_seed);
-        const auto per_task = run_one(workers, jobs, k, 2,
+        const auto per_task = run_one(workers, jobs, k, d_per_task,
                                       probe_strategy::per_task_d_choice, util,
                                       ++run_seed);
-        const auto random = run_one(workers, jobs, k, 2,
+        const auto random = run_one(workers, jobs, k, d_per_task,
                                     probe_strategy::random_worker, util,
                                     ++run_seed);
         auto row = [&](const char* name,

@@ -18,7 +18,8 @@ constexpr std::array<const char*, fault_site_count> site_names = {
     "shard.select",       "shard.handoff",  "shard.commit",
     "snapshot.serialize", "snapshot.write", "snapshot.rename",
     "journal.commit",     "resume.load",    "resume.validate",
-    "steady.pilot",       "perbin.alloc",
+    "steady.pilot",       "perbin.alloc",   "serve.accept",
+    "serve.batch",        "serve.commit",
 };
 
 /// The armed plan and its hit counters. The plan is written under the
@@ -154,6 +155,11 @@ std::vector<fault_site> snapshot_path_sites() {
             fault_site::snapshot_rename,    fault_site::journal_commit,
             fault_site::resume_load,        fault_site::resume_validate,
             fault_site::steady_pilot};
+}
+
+std::vector<fault_site> serve_sites() {
+    return {fault_site::serve_accept, fault_site::serve_batch,
+            fault_site::serve_commit};
 }
 
 const char* fault_action_name(fault_action action) noexcept {

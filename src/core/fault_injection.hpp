@@ -56,6 +56,9 @@ enum class fault_site : std::uint8_t {
     resume_validate,    ///< snapshot stage: before validating the profile
     steady_pilot,       ///< steady state: before each warmup=ff pilot sim
     perbin_alloc,       ///< make_process: before a per-bin state allocation
+    serve_accept,       ///< dispatcher: on accepting a batch from the channel
+    serve_batch,        ///< dispatcher: before a batch's gather/select phases
+    serve_commit,       ///< dispatcher: before the parallel commit phase
     count_              ///< sentinel, not a site
 };
 
@@ -74,6 +77,14 @@ inline constexpr std::size_t fault_site_count =
 /// completeness check against this list, so adding a site here without a
 /// matrix entry fails the suite).
 [[nodiscard]] std::vector<fault_site> snapshot_path_sites();
+
+/// The sites inside the allocation service's dispatcher (the `serve.*`
+/// prefix). Mirrors snapshot_path_sites: the serve fault suite
+/// (tests/serve/fault_sites_test.cpp) fires every listed site through a
+/// live service run and separately checks that every `serve.`-prefixed
+/// name in fault_site_names() appears here — so registering a serve site
+/// without instrumenting it (or without extending this list) fails a test.
+[[nodiscard]] std::vector<fault_site> serve_sites();
 
 enum class fault_action : std::uint8_t { crash, io_error, alloc_fail };
 

@@ -1,0 +1,327 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <span>
+#include <tuple>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/sharded_kernel.hpp"
+#include "core/thread_pool.hpp"
+#include "rng/sampling.hpp"
+#include "rng/splitmix64.hpp"
+#include "rng/xoshiro256ss.hpp"
+#include "serve/channel.hpp"
+#include "serve/dispatcher.hpp"
+#include "serve/session.hpp"
+#include "stats/summary.hpp"
+#include "support/contracts.hpp"
+
+namespace kdc::serve {
+
+namespace {
+
+/// The merged, id-ordered request sequence plus each request's arrival
+/// time. Built identically by run_service and run_serial_oracle: per-client
+/// schedules (serve/session.hpp), merged by (time, client, seq), ids
+/// assigned in merged order, release targets resolved from client-local
+/// seqs to global ids.
+struct request_sequence {
+    std::vector<request> requests;      // index == id
+    std::vector<sim::sim_time> at;      // arrival time per id
+};
+
+request_sequence build_sequence(const service_config& config) {
+    KD_EXPECTS_MSG(config.clients >= 1 && config.requests >= 1,
+                   "service needs clients >= 1 and requests >= 1");
+    KD_EXPECTS(config.arrival_rate > 0.0);
+    std::vector<client_arrival> merged;
+    merged.reserve(config.requests);
+    const std::uint64_t base = config.requests / config.clients;
+    const std::uint64_t extra = config.requests % config.clients;
+    for (std::uint64_t c = 0; c < config.clients; ++c) {
+        session_config sc;
+        sc.client = c;
+        sc.seed = config.seed;
+        sc.rate = config.arrival_rate / static_cast<double>(config.clients);
+        sc.arrivals = base + (c < extra ? 1 : 0);
+        sc.churn = config.churn;
+        const auto schedule = draw_arrivals(sc);
+        merged.insert(merged.end(), schedule.begin(), schedule.end());
+    }
+    std::sort(merged.begin(), merged.end(),
+              [](const client_arrival& a, const client_arrival& b) {
+                  return std::tuple{a.at, a.client, a.seq} <
+                         std::tuple{b.at, b.client, b.seq};
+              });
+
+    request_sequence seq;
+    seq.requests.reserve(merged.size());
+    seq.at.reserve(merged.size());
+    // (client, client seq) -> global id, filled as ids are assigned. A
+    // release's target always precedes it in time within one client, so
+    // the lookup below never misses.
+    std::unordered_map<std::uint64_t, std::uint64_t> id_of;
+    const auto key = [](std::uint64_t client, std::uint64_t s) {
+        return (client << 32) | s;
+    };
+    for (std::size_t id = 0; id < merged.size(); ++id) {
+        const client_arrival& arrival = merged[id];
+        request req;
+        req.client = arrival.client;
+        req.id = id;
+        if (arrival.kind == request_kind::release) {
+            req.kind = request_kind::release;
+            const auto it = id_of.find(key(arrival.client,
+                                           arrival.target_seq));
+            KD_ASSERT_MSG(it != id_of.end(),
+                          "release target precedes its allocate");
+            req.target = it->second;
+        } else {
+            id_of.emplace(key(arrival.client, arrival.seq), id);
+        }
+        seq.requests.push_back(req);
+        seq.at.push_back(arrival.at);
+    }
+    return seq;
+}
+
+void append_log_line(std::string& log, const response& resp,
+                     request_kind kind) {
+    log += std::to_string(resp.id);
+    log += kind == request_kind::release ? " r" : " a";
+    for (const std::uint32_t bin : resp.bins) {
+        log += ' ';
+        log += std::to_string(bin);
+    }
+    log += '\n';
+}
+
+void fill_latency_summary(service_result& result,
+                          std::vector<double> samples) {
+    if (samples.empty()) {
+        return;
+    }
+    std::sort(samples.begin(), samples.end());
+    double sum = 0.0;
+    for (const double s : samples) {
+        sum += s;
+    }
+    result.latency_mean = sum / static_cast<double>(samples.size());
+    result.latency_p50 = stats::sorted_quantile(samples, 0.5);
+    result.latency_p99 = stats::sorted_quantile(samples, 0.99);
+    result.latency_p999 = stats::sorted_quantile(samples, 0.999);
+    result.latency_max = samples.back();
+}
+
+void fill_message_rates(service_result& result, std::uint64_t k) {
+    if (result.allocations == 0) {
+        return;
+    }
+    result.messages_per_request =
+        static_cast<double>(result.probe_messages) /
+        static_cast<double>(result.allocations);
+    result.messages_per_ball =
+        result.messages_per_request / static_cast<double>(k);
+}
+
+} // namespace
+
+service_result run_service(const service_config& config) {
+    const request_sequence seq = build_sequence(config);
+
+    dispatcher_config dc;
+    dc.bins = config.bins;
+    dc.k = config.k;
+    dc.d = config.d;
+    dc.mode = config.mode;
+    dc.seed = config.seed;
+    dc.shards = core::resolve_shard_count(config.bins, config.shards);
+    const unsigned threads = core::resolve_thread_count(config.threads);
+    core::thread_pool* pool =
+        threads > 1 ? &core::persistent_pool(threads) : nullptr;
+    dispatcher dispatcher(dc, pool);
+
+    sim::simulator sim;
+    memory_channel<request> inbox;
+    std::vector<session> sessions(config.clients);
+    service_result result;
+    std::vector<double> allocate_latencies;
+    allocate_latencies.reserve(seq.requests.size());
+
+    // Dispatcher-side scheduling state. One dispatch event is in flight at
+    // a time; it fires batch_window after the first pending request, but
+    // never while the dispatcher is still busy with the previous batch.
+    bool dispatch_pending = false;
+    sim::sim_time busy_until = 0.0;
+    std::function<void()> maybe_dispatch; // forward-declared for recursion
+    const auto do_dispatch = [&] {
+        dispatch_pending = false;
+        const std::vector<request> batch =
+            dispatcher.accept(inbox, config.max_batch);
+        if (batch.empty()) {
+            return;
+        }
+        const std::vector<response> responses = dispatcher.process(batch);
+        busy_until = sim.now() + config.service_time *
+                                     static_cast<double>(batch.size());
+        result.batches += 1;
+        for (std::size_t i = 0; i < responses.size(); ++i) {
+            const request& req = batch[i];
+            append_log_line(result.allocation_log, responses[i], req.kind);
+            if (req.kind == request_kind::allocate) {
+                result.allocations += 1;
+            } else {
+                result.releases += 1;
+            }
+            const sim::sim_time delivered =
+                busy_until + config.channel_delay;
+            sim.schedule_at(
+                delivered, [&, resp = responses[i], kind = req.kind,
+                            arrived = seq.at[responses[i].id]] {
+                    sessions[resp.client].on_response(resp, sim.now());
+                    if (kind == request_kind::allocate) {
+                        allocate_latencies.push_back(sim.now() - arrived);
+                    }
+                    result.completed_at =
+                        std::max(result.completed_at, sim.now());
+                });
+        }
+        maybe_dispatch();
+    };
+    maybe_dispatch = [&] {
+        if (dispatch_pending || inbox.pending() == 0) {
+            return;
+        }
+        dispatch_pending = true;
+        const sim::sim_time when =
+            std::max(sim.now() + config.batch_window, busy_until);
+        sim.schedule_at(when, do_dispatch);
+    };
+
+    // One delivery event per request, scheduled upfront in id order: the
+    // event queue's FIFO tie-breaking then guarantees the inbox receives
+    // ids in increasing order even when arrival times collide.
+    for (std::size_t id = 0; id < seq.requests.size(); ++id) {
+        sessions[seq.requests[id].client].on_send(id, seq.at[id]);
+        sim.schedule_at(seq.at[id] + config.channel_delay,
+                        [&, id] {
+                            inbox.send(seq.requests[id]);
+                            maybe_dispatch();
+                        });
+    }
+    sim.run();
+
+    KD_ENSURES_MSG(inbox.pending() == 0, "service drained its inbox");
+    result.probe_messages = dispatcher.probe_messages();
+    result.balls_held = dispatcher.balls_held();
+    result.final_loads = dispatcher.loads();
+    for (const core::bin_load load : result.final_loads) {
+        result.max_load = std::max<std::uint64_t>(result.max_load, load);
+    }
+    fill_message_rates(result, config.k);
+    fill_latency_summary(result, std::move(allocate_latencies));
+    return result;
+}
+
+service_result run_serial_oracle(const service_config& config) {
+    const request_sequence seq = build_sequence(config);
+    KD_EXPECTS_MSG(config.mode != probing::batch || config.k <= config.d,
+                   "batch (k,d)-choice needs k <= d");
+
+    // Independent straight-line server: plain per-bin loads, one request
+    // at a time in id order, drawing each tape exactly per the contract
+    // (derive_seed(seed, id); probes then keys per pool).
+    std::vector<std::int64_t> loads(config.bins, 0);
+    std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> live;
+    service_result result;
+    result.batches = seq.requests.size();
+    std::vector<std::uint32_t> probes(config.d);
+    std::vector<std::uint64_t> keys(config.d);
+    for (const request& req : seq.requests) {
+        response resp;
+        resp.client = req.client;
+        resp.id = req.id;
+        if (req.kind == request_kind::release) {
+            const auto it = live.find(req.target);
+            KD_ASSERT_MSG(it != live.end(), "oracle: target not live");
+            resp.bins = std::move(it->second);
+            live.erase(it);
+            for (const std::uint32_t bin : resp.bins) {
+                KD_ASSERT_MSG(loads[bin] > 0, "oracle: empty-bin release");
+                loads[bin] -= 1;
+            }
+            result.releases += 1;
+        } else {
+            rng::xoshiro256ss gen(rng::derive_seed(config.seed, req.id));
+            if (config.mode == probing::batch) {
+                rng::sample_with_replacement(
+                    gen, config.bins, std::span<std::uint32_t>(probes));
+                for (auto& tie_key : keys) {
+                    tie_key = gen();
+                }
+                std::vector<std::tuple<std::int64_t, std::uint64_t,
+                                       std::uint32_t>>
+                    cands(config.d);
+                for (std::uint64_t j = 0; j < config.d; ++j) {
+                    std::int64_t occ = 0;
+                    for (std::uint64_t e = 0; e < j; ++e) {
+                        occ += probes[e] == probes[j] ? 1 : 0;
+                    }
+                    cands[j] = {loads[probes[j]] + occ, keys[j],
+                                static_cast<std::uint32_t>(j)};
+                }
+                std::sort(cands.begin(), cands.end());
+                for (std::uint64_t j = 0; j < config.k; ++j) {
+                    const std::uint32_t bin = probes[std::get<2>(cands[j])];
+                    resp.bins.push_back(bin);
+                }
+                for (const std::uint32_t bin : resp.bins) {
+                    loads[bin] += 1;
+                }
+                resp.probe_messages = config.d;
+            } else {
+                for (std::uint64_t t = 0; t < config.k; ++t) {
+                    rng::sample_with_replacement(
+                        gen, config.bins,
+                        std::span<std::uint32_t>(probes));
+                    for (auto& tie_key : keys) {
+                        tie_key = gen();
+                    }
+                    std::size_t best = 0;
+                    for (std::uint64_t j = 1; j < config.d; ++j) {
+                        const auto a = std::tuple{loads[probes[j]],
+                                                  keys[j], j};
+                        const auto b =
+                            std::tuple{loads[probes[best]], keys[best],
+                                       static_cast<std::uint64_t>(best)};
+                        if (a < b) {
+                            best = static_cast<std::size_t>(j);
+                        }
+                    }
+                    resp.bins.push_back(probes[best]);
+                    loads[probes[best]] += 1;
+                }
+                resp.probe_messages = config.k * config.d;
+            }
+            result.probe_messages += resp.probe_messages;
+            live.emplace(req.id, resp.bins);
+            result.allocations += 1;
+        }
+        append_log_line(result.allocation_log, resp, req.kind);
+    }
+
+    result.final_loads.reserve(config.bins);
+    for (const std::int64_t load : loads) {
+        result.balls_held += static_cast<std::uint64_t>(load);
+        result.max_load =
+            std::max(result.max_load, static_cast<std::uint64_t>(load));
+        result.final_loads.push_back(static_cast<core::bin_load>(load));
+    }
+    fill_message_rates(result, config.k);
+    return result;
+}
+
+} // namespace kdc::serve

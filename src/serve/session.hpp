@@ -1,0 +1,128 @@
+// Client sessions of the allocation service: open-loop arrival generation
+// and per-client response aggregation.
+//
+// Arrivals are OPEN-LOOP Poisson: each client draws its whole arrival
+// schedule (times, allocate/release decisions, release targets) from its
+// own seeded stream BEFORE the simulation starts, so the request sequence
+// is a pure function of (seed, clients, rate, churn) — never of service
+// timing, batching or thread count. That is the client half of the
+// determinism contract (docs/service.md): the server half is the
+// dispatcher's id-order processing.
+//
+// Churn is client-local: a release frees one of the CLIENT'S OWN still
+// outstanding allocations, chosen uniformly from the schedule built so
+// far. The client tracks outstanding allocations by its own arrival
+// sequence numbers — it never needs a response to issue a release (the
+// dispatcher resolves the target id to bins server-side), which is what
+// keeps an open-loop schedule well-defined.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "rng/splitmix64.hpp"
+#include "rng/uniform.hpp"
+#include "rng/xoshiro256ss.hpp"
+#include "serve/message.hpp"
+#include "sim/event_queue.hpp"
+#include "support/contracts.hpp"
+
+namespace kdc::serve {
+
+/// One client's schedule parameters.
+struct session_config {
+    std::uint64_t client = 0;
+    std::uint64_t seed = 1;      ///< service master seed (not yet derived)
+    double rate = 1.0;           ///< this client's Poisson arrival rate
+    std::uint64_t arrivals = 0;  ///< arrivals this client generates
+    double churn = 0.0;          ///< P(arrival is a release | target live)
+};
+
+/// One pre-drawn arrival. `seq` numbers the client's own arrivals;
+/// `target_seq` (releases only) names the client-local seq of the allocate
+/// being freed. Global request ids are assigned later, in merged arrival
+/// order across all clients (serve/service.cpp).
+struct client_arrival {
+    sim::sim_time at = 0.0;
+    std::uint64_t client = 0;
+    std::uint64_t seq = 0;
+    request_kind kind = request_kind::allocate;
+    std::uint64_t target_seq = 0;
+};
+
+/// Draws a client's full arrival schedule. Stream: the arrival master seed
+/// is derive_seed(seed, 0x5e551025) — a different branch than the
+/// dispatcher's per-request tapes, so client schedules and probe tapes
+/// never share a stream — then derive_seed(master, client) per client.
+/// Per arrival the draw order is fixed: inter-arrival gap, churn coin,
+/// then (for a release with a live target) the target index.
+[[nodiscard]] inline std::vector<client_arrival>
+draw_arrivals(const session_config& config) {
+    KD_EXPECTS(config.rate > 0.0);
+    rng::xoshiro256ss gen(rng::derive_seed(
+        rng::derive_seed(config.seed, 0x5e551025ULL), config.client));
+    std::vector<client_arrival> schedule;
+    schedule.reserve(config.arrivals);
+    std::vector<std::uint64_t> outstanding; // seqs of unreleased allocates
+    sim::sim_time at = 0.0;
+    for (std::uint64_t seq = 0; seq < config.arrivals; ++seq) {
+        at += rng::exponential(gen, 1.0 / config.rate);
+        client_arrival arrival;
+        arrival.at = at;
+        arrival.client = config.client;
+        arrival.seq = seq;
+        const bool release =
+            rng::bernoulli(gen, config.churn) && !outstanding.empty();
+        if (release) {
+            const auto pick = static_cast<std::size_t>(
+                rng::uniform_below(gen, outstanding.size()));
+            arrival.kind = request_kind::release;
+            arrival.target_seq = outstanding[pick];
+            outstanding.erase(outstanding.begin() +
+                              static_cast<std::ptrdiff_t>(pick));
+        } else {
+            outstanding.push_back(seq);
+        }
+        schedule.push_back(arrival);
+    }
+    return schedule;
+}
+
+/// The aggregation half: records when each request left the client and
+/// turns the matching response into a latency sample. One session per
+/// client; the service owns the map from response.client to session.
+class session {
+public:
+    /// Records that request `id` left the client at `at`.
+    void on_send(std::uint64_t id, sim::sim_time at) {
+        const bool inserted = sent_.emplace(id, at).second;
+        KD_EXPECTS_MSG(inserted, "duplicate request id sent");
+    }
+
+    /// Consumes the response to a previously sent request, recording
+    /// `at - send time` as the request's latency.
+    void on_response(const response& resp, sim::sim_time at) {
+        const auto it = sent_.find(resp.id);
+        KD_EXPECTS_MSG(it != sent_.end(),
+                       "response to a request this session never sent");
+        latencies_.push_back(at - it->second);
+        sent_.erase(it);
+    }
+
+    /// Latency samples in response-arrival order.
+    [[nodiscard]] const std::vector<double>& latencies() const noexcept {
+        return latencies_;
+    }
+
+    /// Requests sent but not yet answered.
+    [[nodiscard]] std::size_t in_flight() const noexcept {
+        return sent_.size();
+    }
+
+private:
+    std::unordered_map<std::uint64_t, sim::sim_time> sent_;
+    std::vector<double> latencies_;
+};
+
+} // namespace kdc::serve

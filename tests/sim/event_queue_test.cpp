@@ -122,6 +122,83 @@ TEST(Simulator, ZeroDelayEventsRunAtCurrentTime) {
     EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
+// -- Re-entrant scheduling: a handler that schedules AT THE CURRENT TIME
+// must see its event fire within the same drain, FIFO after every event
+// already queued for that time. The allocation service leans on exactly
+// this (serve/service.cpp schedules a dispatch from inside a delivery
+// handler), so the ordering is pinned here.
+
+TEST(Simulator, ReentrantSameTimeEventFiresThisDrain) {
+    simulator sim;
+    std::vector<int> order;
+    sim.schedule_at(1.0, [&] {
+        order.push_back(1);
+        // Scheduled mid-drain for t == now: must still fire before the
+        // drain moves past t = 1.
+        sim.schedule_at(sim.now(), [&] { order.push_back(2); });
+    });
+    sim.schedule_at(2.0, [&] { order.push_back(3); });
+    EXPECT_EQ(sim.run(), 3u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, ReentrantEventsQueueFifoAfterExistingSameTimeEvents) {
+    simulator sim;
+    std::vector<int> order;
+    sim.schedule_at(1.0, [&] {
+        order.push_back(0);
+        // Two re-entrant same-time events: they go BEHIND the two events
+        // below (already queued for t = 1) and fire in scheduling order.
+        sim.schedule_at(1.0, [&] { order.push_back(3); });
+        sim.schedule_at(1.0, [&] { order.push_back(4); });
+    });
+    sim.schedule_at(1.0, [&] { order.push_back(1); });
+    sim.schedule_at(1.0, [&] { order.push_back(2); });
+    (void)sim.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, ReentrantChainsAtOneTimeDrainCompletely) {
+    simulator sim;
+    int depth = 0;
+    std::function<void()> recurse = [&] {
+        if (++depth < 50) {
+            sim.schedule_at(sim.now(), recurse); // same time, 50 deep
+        }
+    };
+    sim.schedule_at(3.0, recurse);
+    sim.schedule_at(4.0, [&] { EXPECT_EQ(depth, 50); });
+    EXPECT_EQ(sim.run(), 51u);
+    EXPECT_EQ(depth, 50);
+    EXPECT_DOUBLE_EQ(sim.now(), 4.0);
+}
+
+TEST(Simulator, RunUntilDrainsReentrantBoundaryEvents) {
+    simulator sim;
+    std::vector<int> order;
+    sim.schedule_at(3.0, [&] {
+        order.push_back(1);
+        // Scheduled from a boundary event AT the boundary: run_until(3.0)
+        // must include it, not strand it in the queue.
+        sim.schedule_at(3.0, [&] { order.push_back(2); });
+    });
+    EXPECT_EQ(sim.run_until(3.0), 2u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_TRUE(sim.idle());
+}
+
+TEST(Simulator, ReentrantFutureEventsDoNotJumpTheQueue) {
+    simulator sim;
+    std::vector<int> order;
+    sim.schedule_at(1.0, [&] {
+        order.push_back(1);
+        sim.schedule_after(1.0, [&] { order.push_back(3); }); // t = 2
+    });
+    sim.schedule_at(1.5, [&] { order.push_back(2); });
+    (void)sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
 TEST(Simulator, IdleReflectsQueueState) {
     simulator sim;
     EXPECT_TRUE(sim.idle());
